@@ -1,0 +1,342 @@
+// Benchmarks regenerating every figure of the paper's evaluation section
+// (there are no numbered tables; Figs. 5-10 plus the §5 RUM analysis are
+// the complete set). Each benchmark drives the same runner as
+// cmd/figures and reports the paper's metrics via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced numbers next to the timing. EXPERIMENTS.md maps
+// each metric back to the paper's claims.
+package directload_test
+
+import (
+	"testing"
+
+	"directload/internal/experiments"
+)
+
+// BenchmarkFig5WriteAmplification reproduces Fig. 5: User-Write vs
+// Sys-Write vs Sys-Read throughput for LevelDB and QinDB under the
+// summary-index churn workload. The paper reports 20-25x write
+// amplification for LevelDB and ~2.1x for QinDB, with ~3x higher user
+// write throughput for QinDB.
+func BenchmarkFig5WriteAmplification(b *testing.B) {
+	for _, kind := range []experiments.EngineKind{experiments.LevelDB, experiments.QinDB} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var last experiments.Fig5Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultFig5Config()
+				cfg.Seed = int64(i + 1)
+				r, err := experiments.RunFig5(kind, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.WriteAmp, "write-amp")
+			b.ReportMetric(last.UserMBps, "userMB/s")
+			b.ReportMetric(last.SysWriteMBps, "sysWriteMB/s")
+			b.ReportMetric(last.SysReadMBps, "sysReadMB/s")
+		})
+	}
+}
+
+// BenchmarkFig6ThroughputDynamics reproduces Fig. 6: the stability of the
+// user-write rate (paper: stddev 0.6616 MB/s for LevelDB vs 0.0501 MB/s
+// for QinDB; with differing means, the coefficient of variation is the
+// comparable statistic).
+func BenchmarkFig6ThroughputDynamics(b *testing.B) {
+	for _, kind := range []experiments.EngineKind{experiments.LevelDB, experiments.QinDB} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var last experiments.Fig5Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultFig5Config()
+				cfg.Seed = int64(i + 1)
+				r, err := experiments.RunFig5(kind, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.UserStdDev, "user-stddev-MB/s")
+			b.ReportMetric(last.UserCV, "user-cv")
+		})
+	}
+}
+
+// BenchmarkFig7StorageOccupation reproduces Fig. 7: flash space used
+// under the same run (paper: QinDB ~80 GB vs LevelDB ~40 GB — the price
+// of lazy GC).
+func BenchmarkFig7StorageOccupation(b *testing.B) {
+	for _, kind := range []experiments.EngineKind{experiments.LevelDB, experiments.QinDB} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var last experiments.Fig5Result
+			for i := 0; i < b.N; i++ {
+				cfg := experiments.DefaultFig5Config()
+				cfg.Seed = int64(i + 1)
+				r, err := experiments.RunFig5(kind, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = r
+			}
+			b.ReportMetric(last.FinalDiskGB*1024, "disk-MB")
+			_, _, _, peak := last.Storage.YStats()
+			b.ReportMetric(peak*1024, "peak-disk-MB")
+		})
+	}
+}
+
+// BenchmarkFig8ReadLatency reproduces Fig. 8: average / p99 / p99.9 read
+// latency with and without a concurrent update stream (paper 8a: QinDB
+// 1803/3558/6574 us vs LevelDB 1846/3909/15081 us; 8b: QinDB
+// 2104/4397/13663 us vs LevelDB 2668/12789/26458 us).
+func BenchmarkFig8ReadLatency(b *testing.B) {
+	for _, withUpdates := range []bool{false, true} {
+		name := "NoUpdates"
+		if withUpdates {
+			name = "WithUpdates"
+		}
+		for _, kind := range []experiments.EngineKind{experiments.LevelDB, experiments.QinDB} {
+			b.Run(name+"/"+kind.String(), func(b *testing.B) {
+				var last experiments.Fig8Result
+				for i := 0; i < b.N; i++ {
+					cfg := experiments.DefaultFig8Config()
+					cfg.Seed = int64(i + 1)
+					cfg.WithUpdates = withUpdates
+					r, err := experiments.RunFig8(kind, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = r
+				}
+				b.ReportMetric(last.Latency.Mean, "mean-us")
+				b.ReportMetric(last.Latency.P99, "p99-us")
+				b.ReportMetric(last.Latency.P999, "p99.9-us")
+			})
+		}
+	}
+}
+
+// BenchmarkFig9DedupUpdateTime reproduces Fig. 9: the month-long series
+// of dedup ratio vs update time (paper: 23% dedup -> 130 min; ~80% ->
+// ~30 min; anti-correlated).
+func BenchmarkFig9DedupUpdateTime(b *testing.B) {
+	var days []experiments.DayResult
+	var sum experiments.MonthSummary
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultMonthConfig()
+		cfg.Seed = int64(i + 1)
+		var err error
+		days, sum, err = experiments.RunMonth(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.MeanDedup, "mean-dedup-ratio")
+	b.ReportMetric(sum.MeanUpdateMin, "mean-update-min")
+	// Spread between the cleanest high-dedup and low-dedup days.
+	var hi, lo float64
+	for _, d := range days {
+		if d.Repairs > 0 || d.Day == days[0].Day {
+			continue
+		}
+		if d.DedupRatio > 0.6 && (hi == 0 || d.UpdateMinutes < hi) {
+			hi = d.UpdateMinutes
+		}
+		if d.DedupRatio < 0.5 && d.UpdateMinutes > lo {
+			lo = d.UpdateMinutes
+		}
+	}
+	b.ReportMetric(hi, "high-dedup-update-min")
+	b.ReportMetric(lo, "low-dedup-update-min")
+}
+
+// BenchmarkFig10Throughput reproduces Fig. 10a: updating throughput
+// (10^3 keys/s) with and without DirectLoad (paper: up to 5x better).
+func BenchmarkFig10Throughput(b *testing.B) {
+	var with, without experiments.MonthSummary
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultMonthConfig()
+		cfg.Seed = int64(i + 1)
+		var err error
+		with, without, _, _, err = experiments.MonthPair(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(with.MeanKps, "directload-kps")
+	b.ReportMetric(without.MeanKps, "baseline-kps")
+	if without.MeanKps > 0 {
+		b.ReportMetric(with.MeanKps/without.MeanKps, "speedup")
+	}
+}
+
+// BenchmarkFig10MissRatio reproduces Fig. 10b: the miss ratio (fraction
+// of slices later than the deadline) under failure injection (paper:
+// 0.24% against a 0.6% SLO).
+func BenchmarkFig10MissRatio(b *testing.B) {
+	var sum experiments.MonthSummary
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultMonthConfig()
+		cfg.Seed = int64(i + 1)
+		var err error
+		_, sum, err = experiments.RunMonth(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sum.MissRatio*100, "miss-pct")
+	b.ReportMetric(0.6, "slo-pct")
+}
+
+// BenchmarkHeadlineBandwidthSaving reproduces the abstract's "63%
+// updating bandwidth has been saved due to the deduplication".
+func BenchmarkHeadlineBandwidthSaving(b *testing.B) {
+	var sum experiments.MonthSummary
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultMonthConfig()
+		cfg.Seed = int64(i + 1)
+		var err error
+		_, sum, err = experiments.RunMonth(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	saving := 1 - float64(sum.WireBytes)/float64(sum.PayloadBytes)
+	b.ReportMetric(saving*100, "bandwidth-saved-pct")
+}
+
+// BenchmarkHeadlineWriteThroughput reproduces the abstract's "the write
+// throughput to SSDs is increased by 3x": equal user bytes over the
+// simulated device, compared by elapsed device time.
+func BenchmarkHeadlineWriteThroughput(b *testing.B) {
+	var q, l experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig5Config()
+		cfg.Seed = int64(i + 1)
+		var err error
+		q, l, err = experiments.Fig5Pair(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(l.Elapsed)/float64(q.Elapsed), "throughput-speedup")
+}
+
+// BenchmarkHeadlineUpdateCycle reproduces the abstract's "index updating
+// cycle ... from 15 days to 3 days": the ratio of total effective update
+// time over the month, baseline vs DirectLoad.
+func BenchmarkHeadlineUpdateCycle(b *testing.B) {
+	var with, without experiments.MonthSummary
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultMonthConfig()
+		cfg.Seed = int64(i + 1)
+		var err error
+		with, without, _, _, err = experiments.MonthPair(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if with.MeanUpdateMin > 0 {
+		b.ReportMetric(without.MeanUpdateMin/with.MeanUpdateMin, "cycle-compression")
+	}
+}
+
+// BenchmarkRUMAblation reproduces the §5 RUM analysis: the lazy-GC
+// threshold sweep trading storage space (M) against update cost (U) at
+// constant read cost (R).
+func BenchmarkRUMAblation(b *testing.B) {
+	var pts []experiments.RUMPoint
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig5Config()
+		cfg.Seed = int64(i + 1)
+		var err error
+		pts, err = experiments.RunRUMAblation(cfg, []float64{0.10, 0.25, 0.50, 0.75})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.WriteAmp, "wa@"+trimFloat(p.GCThreshold))
+		b.ReportMetric(p.DiskGB*1024, "diskMB@"+trimFloat(p.GCThreshold))
+	}
+}
+
+// BenchmarkAblationFlashInterface quantifies native vs FTL flash for
+// both engines (paper §2.3's block-aligned files).
+func BenchmarkAblationFlashInterface(b *testing.B) {
+	var rs []experiments.InterfaceResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultFig5Config()
+		cfg.Seed = int64(i + 1)
+		var err error
+		rs, err = experiments.RunInterfaceAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rs {
+		b.ReportMetric(r.WriteAmp, "wa-"+r.Engine+"-"+r.Interface)
+	}
+}
+
+// BenchmarkGrayConsistency reproduces the §3 gray-release measurement:
+// real searches answered at all six DCs while one serves a newer index
+// version; inconsistency scales with content churn and collapses to 0
+// after activation (paper: <0.1% at production's hourly churn).
+func BenchmarkGrayConsistency(b *testing.B) {
+	var rs []experiments.ConsistencyResult
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultConsistencyConfig()
+		cfg.Documents = 300
+		cfg.Queries = 200
+		cfg.Seed = int64(i + 1)
+		var err error
+		rs, err = experiments.ConsistencySweep(cfg, []float64{0.01, 0.30})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rs[0].RateDuring*100, "gray-pct@churn=0.01")
+	b.ReportMetric(rs[1].RateDuring*100, "gray-pct@churn=0.30")
+	b.ReportMetric(rs[0].RateAfter*100, "post-activation-pct")
+}
+
+// BenchmarkAblationTraceback shows that QinDB's bind-at-PUT dedup makes
+// the read cost independent of the duplicate ratio.
+func BenchmarkAblationTraceback(b *testing.B) {
+	var pts []experiments.TracebackPoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = experiments.RunTracebackAblation(150, 8192, 8, nil, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.ReadMeanUs, "read-us@dup="+trimFloat(p.DupRatio))
+	}
+}
+
+func trimFloat(f float64) string {
+	switch f {
+	case 0:
+		return "0"
+	case 0.1:
+		return "0.10"
+	case 0.25:
+		return "0.25"
+	case 0.3:
+		return "0.30"
+	case 0.5:
+		return "0.50"
+	case 0.6:
+		return "0.60"
+	case 0.75:
+		return "0.75"
+	case 0.9:
+		return "0.90"
+	}
+	return "x"
+}

@@ -1,0 +1,225 @@
+// Command crashtest is a randomized torture harness for the QinDB
+// engine, in the spirit of LevelDB's db_stress: it drives random
+// versioned PUT/PUT-dedup/DEL/DropVersion traffic against the engine and
+// an in-memory oracle, interleaving garbage collection, checkpoints and
+// crash/recovery cycles, and verifies after every round that the engine
+// answers exactly like the oracle.
+//
+//	go run ./cmd/crashtest -rounds 20 -ops 2000 -seed 7
+//
+// Exit status 0 means every verification passed.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"directload/internal/aof"
+	"directload/internal/blockfs"
+	"directload/internal/core"
+	"directload/internal/ssd"
+)
+
+var (
+	rounds   = flag.Int("rounds", 10, "crash/recovery rounds")
+	ops      = flag.Int("ops", 2500, "operations per round")
+	keys     = flag.Int("keys", 40, "distinct keys")
+	versions = flag.Int("versions", 6, "distinct versions")
+	valMax   = flag.Int("valmax", 16384, "max value size in bytes")
+	seed     = flag.Int64("seed", 1, "random seed")
+	capacity = flag.Int64("capacity", 2<<30, "simulated SSD capacity")
+	verbose  = flag.Bool("v", false, "log every round")
+)
+
+// oracleVal mirrors one (key, version) state.
+type oracleVal struct {
+	val     []byte
+	dedup   bool
+	base    uint64
+	hasBase bool
+	deleted bool
+}
+
+type oracle map[string]map[uint64]*oracleVal
+
+func (o oracle) resolveBase(key string, ver uint64) (uint64, bool) {
+	var vers []uint64
+	for v := range o[key] {
+		if v < ver {
+			vers = append(vers, v)
+		}
+	}
+	for i := 1; i < len(vers); i++ {
+		for j := i; j > 0 && vers[j-1] < vers[j]; j-- {
+			vers[j-1], vers[j] = vers[j], vers[j-1]
+		}
+	}
+	for _, v := range vers {
+		m := o[key][v]
+		if m.deleted {
+			continue
+		}
+		if !m.dedup {
+			return v, true
+		}
+		if m.hasBase {
+			return m.base, true
+		}
+	}
+	return 0, false
+}
+
+func (o oracle) expected(key string, ver uint64) ([]byte, bool) {
+	mv := o[key][ver]
+	if mv == nil || mv.deleted {
+		return nil, false
+	}
+	if !mv.dedup {
+		return mv.val, true
+	}
+	if !mv.hasBase {
+		return nil, false
+	}
+	base := o[key][mv.base]
+	if base == nil || base.dedup {
+		return nil, false
+	}
+	return base.val, true
+}
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	dev, err := ssd.NewDevice(ssd.DefaultConfig(*capacity))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fs := blockfs.NewNativeFS(dev)
+	opts := core.Options{
+		AOF:                  aof.Config{FileSize: 1 << 20, GCThreshold: 0.25},
+		CheckpointEveryBytes: 512 << 10,
+		Seed:                 *seed,
+	}
+	db, err := core.Open(fs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	o := oracle{}
+	keyName := func(i int) string { return fmt.Sprintf("key-%04d", i) }
+
+	apply := func() error {
+		for i := 0; i < *ops; i++ {
+			k := keyName(rng.Intn(*keys))
+			ver := uint64(rng.Intn(*versions) + 1)
+			switch op := rng.Intn(10); {
+			case op < 5: // plain put
+				val := make([]byte, rng.Intn(*valMax)+1)
+				rng.Read(val)
+				if _, err := db.Put([]byte(k), ver, val, false); err != nil {
+					return fmt.Errorf("put %s/%d: %w", k, ver, err)
+				}
+				if o[k] == nil {
+					o[k] = map[uint64]*oracleVal{}
+				}
+				o[k][ver] = &oracleVal{val: val}
+			case op < 7: // dedup put
+				mv := &oracleVal{dedup: true}
+				mv.base, mv.hasBase = o.resolveBase(k, ver)
+				if _, err := db.Put([]byte(k), ver, nil, true); err != nil {
+					return fmt.Errorf("putd %s/%d: %w", k, ver, err)
+				}
+				if o[k] == nil {
+					o[k] = map[uint64]*oracleVal{}
+				}
+				o[k][ver] = mv
+			case op < 9: // del
+				mv := o[k][ver]
+				_, err := db.Del([]byte(k), ver)
+				if mv == nil || mv.deleted {
+					if err == nil {
+						return fmt.Errorf("del %s/%d succeeded, oracle says absent", k, ver)
+					}
+				} else {
+					if err != nil {
+						return fmt.Errorf("del %s/%d: %w", k, ver, err)
+					}
+					mv.deleted = true
+				}
+			default: // drop a whole version (rare)
+				if rng.Intn(4) == 0 {
+					if _, _, err := db.DropVersion(ver); err != nil {
+						return fmt.Errorf("drop v%d: %w", ver, err)
+					}
+					for _, vers := range o {
+						if mv := vers[ver]; mv != nil {
+							mv.deleted = true
+						}
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	verify := func() error {
+		for i := 0; i < *keys; i++ {
+			k := keyName(i)
+			for ver := uint64(1); ver <= uint64(*versions); ver++ {
+				want, ok := o.expected(k, ver)
+				got, _, err := db.Get([]byte(k), ver)
+				if ok {
+					if err != nil {
+						return fmt.Errorf("get %s/%d: %v, oracle has %d bytes", k, ver, err, len(want))
+					}
+					if !bytes.Equal(got, want) {
+						return fmt.Errorf("get %s/%d: value mismatch (%d vs %d bytes)", k, ver, len(got), len(want))
+					}
+				} else if err == nil && o[k][ver] != nil && !o[k][ver].deleted {
+					return fmt.Errorf("get %s/%d succeeded, oracle expects failure", k, ver)
+				}
+			}
+		}
+		return nil
+	}
+
+	for round := 1; round <= *rounds; round++ {
+		if err := apply(); err != nil {
+			log.Fatalf("round %d apply: %v", round, err)
+		}
+		if err := verify(); err != nil {
+			log.Fatalf("round %d pre-crash verify: %v", round, err)
+		}
+		// Occasionally drain GC before crashing.
+		if rng.Intn(2) == 0 {
+			if _, err := db.CollectAll(); err != nil {
+				log.Fatalf("round %d gc: %v", round, err)
+			}
+		}
+		// Crash: drop the memtable, reopen from flash.
+		db.Close()
+		db, err = core.Open(fs, opts)
+		if err != nil {
+			log.Fatalf("round %d recovery: %v", round, err)
+		}
+		if err := verify(); err != nil {
+			log.Fatalf("round %d post-crash verify: %v", round, err)
+		}
+		if *verbose {
+			st := db.Stats()
+			log.Printf("round %2d OK: %5d items, %3d checkpoints, %3d gc runs, %6.1f MB flash",
+				round, st.Keys, st.Checkpoints, st.Store.GCRuns,
+				float64(st.Store.DiskBytes)/(1<<20))
+		}
+	}
+	db.Close()
+	fmt.Printf("crashtest: %d rounds x %d ops verified, %d keys x %d versions, seed %d\n",
+		*rounds, *ops, *keys, *versions, *seed)
+	os.Exit(0)
+}

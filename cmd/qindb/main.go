@@ -1,0 +1,100 @@
+// Command qindb is a microbenchmark and inspection CLI for the QinDB
+// storage engine and its LevelDB-style baseline — the per-node half of
+// the paper's evaluation (Figs. 5-8).
+//
+//	go run ./cmd/qindb -engine qindb -keys 500 -versions 11
+//	go run ./cmd/qindb -engine leveldb -reads 20000
+//	go run ./cmd/qindb -mode latency
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"directload/internal/experiments"
+)
+
+var (
+	engine   = flag.String("engine", "both", "engine: qindb, leveldb, both")
+	mode     = flag.String("mode", "churn", "benchmark: churn (Figs 5-7), latency (Fig 8)")
+	keys     = flag.Int("keys", 200, "distinct keys per version")
+	valSize  = flag.Int("value", 20<<10, "mean value size in bytes")
+	versions = flag.Int("versions", 11, "data versions to insert")
+	retain   = flag.Int("retain", 4, "versions retained on flash")
+	reads    = flag.Int("reads", 8000, "read operations (latency mode)")
+	updates  = flag.Bool("updates", true, "interleave an update stream (latency mode)")
+	seed     = flag.Int64("seed", 1, "workload seed")
+)
+
+func engines() []experiments.EngineKind {
+	switch strings.ToLower(*engine) {
+	case "qindb":
+		return []experiments.EngineKind{experiments.QinDB}
+	case "leveldb":
+		return []experiments.EngineKind{experiments.LevelDB}
+	default:
+		return []experiments.EngineKind{experiments.LevelDB, experiments.QinDB}
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	switch strings.ToLower(*mode) {
+	case "churn":
+		churn()
+	case "latency":
+		latency()
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+func churn() {
+	cfg := experiments.Fig5Config{
+		Keys:           *keys,
+		ValueSize:      *valSize,
+		Versions:       *versions,
+		Retain:         *retain,
+		DeviceCapacity: 4 << 30,
+		Seed:           *seed,
+		Window:         experiments.DefaultFig5Config().Window,
+	}
+	fmt.Printf("churn workload: %d keys x %d versions x ~%d KB values, retain %d\n\n",
+		cfg.Keys, cfg.Versions, cfg.ValueSize>>10, cfg.Retain)
+	for _, kind := range engines() {
+		r, err := experiments.RunFig5(kind, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s user %8.2f MB/s (stddev %.2f, cv %.2f)\n", r.Engine, r.UserMBps, r.UserStdDev, r.UserCV)
+		fmt.Printf("         sys  %8.2f MB/s write, %8.2f MB/s read\n", r.SysWriteMBps, r.SysReadMBps)
+		fmt.Printf("         write amplification %.2fx | disk %0.2f MB | device time %v\n\n",
+			r.WriteAmp, r.FinalDiskGB*1024, r.Elapsed)
+	}
+}
+
+func latency() {
+	cfg := experiments.Fig8Config{
+		Keys:           *keys,
+		ValueSize:      *valSize,
+		LoadVersions:   *retain,
+		Reads:          *reads,
+		ZipfSkew:       1.2,
+		DeviceCapacity: 4 << 30,
+		Seed:           *seed,
+		WithUpdates:    *updates,
+		UpdateEvery:    4,
+	}
+	fmt.Printf("latency workload: %d keys, %d reads, updates=%v\n\n", cfg.Keys, cfg.Reads, *updates)
+	for _, kind := range engines() {
+		r, err := experiments.RunFig8(kind, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s mean %6.0f us | p99 %6.0f us | p99.9 %6.0f us | max %6.0f us (%d reads)\n",
+			r.Engine, r.Latency.Mean, r.Latency.P99, r.Latency.P999, r.Latency.Max, r.Latency.Count)
+	}
+}

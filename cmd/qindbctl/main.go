@@ -1,0 +1,126 @@
+// Command qindbctl is a command-line client for a qindbd storage node.
+//
+//	qindbctl -addr 127.0.0.1:7707 put  <key> <version> <value>
+//	qindbctl -addr 127.0.0.1:7707 putd <key> <version>          # dedup put
+//	qindbctl -addr 127.0.0.1:7707 get  <key> <version>
+//	qindbctl -addr 127.0.0.1:7707 del  <key> <version>
+//	qindbctl -addr 127.0.0.1:7707 drop <version>
+//	qindbctl -addr 127.0.0.1:7707 range [<from> [<to>]]
+//	qindbctl -addr 127.0.0.1:7707 stats
+//	qindbctl -addr 127.0.0.1:7707 ping
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"directload/internal/server"
+)
+
+var addr = flag.String("addr", "127.0.0.1:7707", "qindbd address")
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] <put|putd|get|del|drop|range|stats|ping> [args]")
+	os.Exit(2)
+}
+
+func parseVersion(s string) uint64 {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		log.Fatalf("bad version %q: %v", s, err)
+	}
+	return v
+}
+
+func main() {
+	log.SetFlags(0)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cl, err := server.Dial(*addr)
+	if err != nil {
+		log.Fatalf("dial %s: %v", *addr, err)
+	}
+	defer cl.Close()
+
+	cmd, args := args[0], args[1:]
+	switch cmd {
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		if err := cl.Put([]byte(args[0]), parseVersion(args[1]), []byte(args[2]), false); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("OK")
+	case "putd":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := cl.Put([]byte(args[0]), parseVersion(args[1]), nil, true); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("OK")
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		val, err := cl.Get([]byte(args[0]), parseVersion(args[1]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		os.Stdout.Write(val)
+		fmt.Println()
+	case "del":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := cl.Del([]byte(args[0]), parseVersion(args[1])); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("OK")
+	case "drop":
+		if len(args) != 1 {
+			usage()
+		}
+		if err := cl.DropVersion(parseVersion(args[0])); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("OK")
+	case "range":
+		var from, to []byte
+		if len(args) > 0 {
+			from = []byte(args[0])
+		}
+		if len(args) > 1 {
+			to = []byte(args[1])
+		}
+		entries, err := cl.Range(from, to, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, e := range entries {
+			fmt.Printf("%s\t@v%d\n", e.Key, e.Version)
+		}
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, _ := json.MarshalIndent(st, "", "  ")
+		fmt.Println(string(out))
+	case "ping":
+		if err := cl.Ping(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("pong")
+	default:
+		usage()
+	}
+}

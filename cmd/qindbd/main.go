@@ -1,0 +1,70 @@
+// Command qindbd runs a standalone QinDB storage node over TCP — the
+// network face a Mint storage node presents inside a data center. The
+// engine persists to a simulated SSD (the process's memory), which makes
+// the daemon useful for protocol integration and load testing rather
+// than durable storage.
+//
+//	go run ./cmd/qindbd -addr 127.0.0.1:7707 -capacity 1073741824
+//
+// Interact with it through internal/server.Client, e.g.:
+//
+//	cl, _ := server.Dial("127.0.0.1:7707")
+//	cl.Put([]byte("k"), 1, []byte("v"), false)
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"directload/internal/aof"
+	"directload/internal/blockfs"
+	"directload/internal/core"
+	"directload/internal/server"
+	"directload/internal/ssd"
+)
+
+var (
+	addr     = flag.String("addr", "127.0.0.1:7707", "listen address")
+	capacity = flag.Int64("capacity", 1<<30, "simulated SSD capacity in bytes")
+	aofSize  = flag.Int64("aof", 64<<20, "AOF file size in bytes (paper: 64 MB)")
+	gcThresh = flag.Float64("gc", 0.25, "lazy GC occupancy threshold (paper: 0.25)")
+	ckpt     = flag.Int64("checkpoint", 256<<20, "auto-checkpoint every N bytes (0 = off)")
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	flag.Parse()
+
+	dev, err := ssd.NewDevice(ssd.DefaultConfig(*capacity))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := core.Open(blockfs.NewNativeFS(dev), core.Options{
+		AOF:                  aof.Config{FileSize: *aofSize, GCThreshold: *gcThresh},
+		CheckpointEveryBytes: *ckpt,
+		Seed:                 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	s := server.New(db)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Println("shutting down")
+		s.Close()
+	}()
+	log.Printf("qindbd: serving on %s (capacity %d MB, AOF %d MB, GC threshold %.2f)",
+		*addr, *capacity>>20, *aofSize>>20, *gcThresh)
+	if err := s.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+	st := db.Stats()
+	log.Printf("qindbd: stopped after %d puts / %d gets, %d MB user writes",
+		st.Puts, st.Gets, st.UserWriteBytes>>20)
+}

@@ -1,0 +1,176 @@
+package directload_test
+
+// Integration tests exercising the public facade exactly as a downstream
+// user would: open stores, run the pipeline, crash and recover, and swap
+// the baseline engine in.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"directload"
+)
+
+func TestFacadeStoreLifecycle(t *testing.T) {
+	flash, err := directload.NewFlash(128 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := directload.OpenStoreOn(flash, directload.DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put([]byte("k"), 1, []byte("v1"), false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put([]byte("k"), 2, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	val, _, err := db.Get([]byte("k"), 2)
+	if err != nil || string(val) != "v1" {
+		t.Fatalf("dedup Get = %q, %v", val, err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash/recover cycle through the facade.
+	db2, err := directload.OpenStoreOn(flash, directload.DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	val, _, err = db2.Get([]byte("k"), 2)
+	if err != nil || string(val) != "v1" {
+		t.Fatalf("Get after recovery = %q, %v", val, err)
+	}
+	if _, _, err := db2.Get([]byte("k"), 9); !errors.Is(err, directload.ErrNotFound) {
+		t.Fatalf("sentinel error not exported properly: %v", err)
+	}
+}
+
+func TestFacadeLSMBaseline(t *testing.T) {
+	db, err := directload.OpenLSMStore(128<<20, directload.DefaultLSMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Put([]byte("k"), 1, []byte("v"), false); err != nil {
+		t.Fatal(err)
+	}
+	val, _, err := db.Get([]byte("k"), 1)
+	if err != nil || string(val) != "v" {
+		t.Fatalf("LSM Get = %q, %v", val, err)
+	}
+}
+
+func TestFacadeSystemPipeline(t *testing.T) {
+	cfg := directload.DefaultSystemConfig()
+	cfg.Mint.NodeCapacity = 64 << 20
+	sys, err := directload.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	gen, err := directload.NewGenerator(directload.GeneratorConfig{
+		Keys: 50, ValueSize: 2048, DupRatio: 0.7, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(1); v <= 2; v++ {
+		var entries []directload.SystemEntry
+		gen.NextVersion(func(e directload.WorkloadEntry) error {
+			entries = append(entries, directload.SystemEntry{
+				Key: e.Key, Value: e.Value, Stream: directload.StreamInverted,
+			})
+			return nil
+		})
+		rep, err := sys.PublishVersion(v, entries)
+		if err != nil {
+			t.Fatalf("v%d: %v", v, err)
+		}
+		if rep.Keys != 50 {
+			t.Fatalf("report keys = %d", rep.Keys)
+		}
+	}
+	if err := sys.ActivateEverywhere(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i += 7 {
+		val, _, err := sys.Get(sys.Top.Regions[0].DCs[1], gen.Key(i))
+		if err != nil {
+			t.Fatalf("Get key %d: %v", i, err)
+		}
+		if !bytes.Equal(val, gen.Value(i)) {
+			t.Fatalf("value mismatch for key %d", i)
+		}
+	}
+}
+
+func TestFacadeIndexHelpers(t *testing.T) {
+	crawler, err := directload.NewCrawler(directload.CrawlConfig{
+		Documents: 50, VIPRatio: 0.1, VocabSize: 200,
+		DocTerms: 20, MutateProb: 0.3, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := crawler.Crawl()
+	fwd := directload.BuildForward(docs)
+	inv := directload.BuildInverted(fwd)
+	sum := directload.BuildSummary(docs, 4)
+	if len(fwd) != 50 || len(sum) != 50 || len(inv) == 0 {
+		t.Fatalf("index sizes: fwd=%d inv=%d sum=%d", len(fwd), len(inv), len(sum))
+	}
+	urls := directload.DecodeURLList(directload.EncodeURLList(inv[0].URLs))
+	if len(urls) != len(inv[0].URLs) {
+		t.Fatal("URL list codec mismatch")
+	}
+	invMap := map[string][]string{}
+	for _, e := range inv {
+		invMap[e.Term] = e.URLs
+	}
+	sumMap := map[string]string{}
+	for _, e := range sum {
+		sumMap[e.URL] = e.Abstract
+	}
+	res := directload.Search([]string{docs[0].Terms[0]},
+		func(t string) ([]string, bool) { u, ok := invMap[t]; return u, ok },
+		func(u string) (string, bool) { a, ok := sumMap[u]; return a, ok },
+		5)
+	if len(res) == 0 {
+		t.Fatal("Search returned nothing")
+	}
+}
+
+func TestFacadeDeduper(t *testing.T) {
+	d := directload.NewDeduper()
+	d.Process([]byte("k"), []byte("same"))
+	d.AdvanceVersion()
+	if !d.Process([]byte("k"), []byte("same")) {
+		t.Fatal("unchanged value should dedup")
+	}
+}
+
+func TestFacadeMintCluster(t *testing.T) {
+	cfg := directload.DefaultMintConfig()
+	cfg.NodeCapacity = 32 << 20
+	cfg.Groups = 2
+	cfg.NodesPerGroup = 3
+	c, err := directload.NewMintCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Put([]byte(fmt.Sprintf("k%02d", i)), 1, []byte("v"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if val, _, err := c.Get([]byte("k07"), 1); err != nil || string(val) != "v" {
+		t.Fatalf("cluster Get = %q, %v", val, err)
+	}
+}

@@ -1,0 +1,71 @@
+package directload_test
+
+// Godoc examples for the public API. Each is deterministic so it runs as
+// part of the test suite.
+
+import (
+	"fmt"
+
+	"directload"
+)
+
+// The storage engine: versioned writes, deduplicated entries, traceback.
+func ExampleOpenStore() {
+	db, err := directload.OpenStore(64<<20, directload.DefaultStoreOptions())
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	db.Put([]byte("url/page"), 1, []byte("first crawl"), false)
+	db.Put([]byte("url/page"), 2, nil, true) // value unchanged: deduplicated
+
+	val, _, _ := db.Get([]byte("url/page"), 2)
+	fmt.Println(string(val))
+	// Output: first crawl
+}
+
+// Bifrost deduplication: unchanged values are stripped from the stream.
+func ExampleNewDeduper() {
+	d := directload.NewDeduper()
+	d.Process([]byte("k1"), []byte("stable"))
+	d.Process([]byte("k2"), []byte("volatile-v1"))
+	d.AdvanceVersion()
+
+	fmt.Println(d.Process([]byte("k1"), []byte("stable")))
+	fmt.Println(d.Process([]byte("k2"), []byte("volatile-v2")))
+	// Output:
+	// true
+	// false
+}
+
+// Crash recovery: reopen over the same flash and the data is back.
+func ExampleOpenStoreOn() {
+	flash, _ := directload.NewFlash(64 << 20)
+	db, _ := directload.OpenStoreOn(flash, directload.DefaultStoreOptions())
+	db.Put([]byte("k"), 7, []byte("durable"), false)
+	db.Close() // "crash"
+
+	db2, _ := directload.OpenStoreOn(flash, directload.DefaultStoreOptions())
+	defer db2.Close()
+	val, _, _ := db2.Get([]byte("k"), 7)
+	fmt.Println(string(val))
+	// Output: durable
+}
+
+// Range scans over the newest live versions.
+func ExampleStore() {
+	db, _ := directload.OpenStore(64<<20, directload.DefaultStoreOptions())
+	defer db.Close()
+	db.Put([]byte("a"), 1, []byte("x"), false)
+	db.Put([]byte("b"), 1, []byte("x"), false)
+	db.Put([]byte("b"), 2, []byte("y"), false)
+
+	db.Range(nil, nil, func(key []byte, ver uint64) bool {
+		fmt.Printf("%s@v%d\n", key, ver)
+		return true
+	})
+	// Output:
+	// a@v1
+	// b@v2
+}

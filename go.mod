@@ -1,0 +1,3 @@
+module directload
+
+go 1.22

@@ -1,0 +1,381 @@
+package aof
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"directload/internal/blockfs"
+	"directload/internal/ssd"
+)
+
+func testFS(t *testing.T, blocks int) blockfs.FS {
+	t.Helper()
+	cfg := ssd.Config{
+		PageSize:      4096,
+		PagesPerBlock: 64,
+		Blocks:        blocks,
+		Latency: ssd.LatencyModel{
+			PageRead: 80 * time.Microsecond, PageWrite: 200 * time.Microsecond,
+			BlockErase: 1500 * time.Microsecond, Channels: 1,
+		},
+	}
+	d, err := ssd.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blockfs.NewNativeFS(d)
+}
+
+func smallConfig() Config {
+	return Config{FileSize: 1 << 20, GCThreshold: 0.25} // 1 MB AOFs for tests
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Record{
+		{Key: []byte("k"), Version: 1, Value: []byte("v")},
+		{Key: []byte("key/with/slashes"), Version: 1 << 40, Value: bytes.Repeat([]byte{7}, 5000)},
+		{Key: []byte("dedup"), Version: 3, Flags: FlagDedup},
+		{Key: []byte("dead"), Version: 9, Flags: FlagTombstone},
+		{Key: []byte{}, Version: 0},
+	}
+	for i, rec := range cases {
+		buf := Encode(rec)
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("case %d: n = %d, want %d", i, n, len(buf))
+		}
+		if !bytes.Equal(got.Key, rec.Key) && !(len(got.Key) == 0 && len(rec.Key) == 0) {
+			t.Fatalf("case %d: key %q != %q", i, got.Key, rec.Key)
+		}
+		if got.Version != rec.Version || got.Flags != rec.Flags {
+			t.Fatalf("case %d: meta mismatch %+v", i, got)
+		}
+		if !bytes.Equal(got.Value, rec.Value) {
+			t.Fatalf("case %d: value mismatch", i)
+		}
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	buf := Encode(Record{Key: []byte("k"), Version: 1, Value: []byte("hello")})
+	if _, _, err := Decode(buf[:3]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short header err = %v", err)
+	}
+	if _, _, err := Decode(buf[:len(buf)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short body err = %v", err)
+	}
+	buf[len(buf)-1] ^= 0xFF
+	if _, _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bit flip err = %v", err)
+	}
+}
+
+func TestAppendRead(t *testing.T) {
+	s, err := Open(testFS(t, 64), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := Record{Key: []byte("url1"), Version: 5, Value: []byte("payload")}
+	ref, _, _, err := s.Append(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := s.Read(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Key) != "url1" || got.Version != 5 || string(got.Value) != "payload" {
+		t.Fatalf("Read = %+v", got)
+	}
+}
+
+func TestFileRotation(t *testing.T) {
+	s, _ := Open(testFS(t, 256), smallConfig())
+	val := bytes.Repeat([]byte{1}, 100<<10) // 100 KB values
+	for i := 0; i < 25; i++ {               // ~2.5 MB total > 2 files
+		if _, _, _, err := s.Append(Record{Key: []byte(fmt.Sprintf("k%02d", i)), Version: 1, Value: val}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if files := s.Files(); len(files) < 3 {
+		t.Fatalf("Files = %v, want >= 3 after rotation", files)
+	}
+	st := s.Stats()
+	if st.LiveBytes != st.TotalBytes {
+		t.Fatalf("all records live: live %d != total %d", st.LiveBytes, st.TotalBytes)
+	}
+}
+
+func TestMarkDeadOccupancy(t *testing.T) {
+	s, _ := Open(testFS(t, 64), smallConfig())
+	var refs []Ref
+	for i := 0; i < 10; i++ {
+		ref, _, _, _ := s.Append(Record{Key: []byte{byte(i)}, Version: 1, Value: make([]byte, 1000)})
+		refs = append(refs, ref)
+	}
+	if occ := s.Occupancy(refs[0].File); occ != 1.0 {
+		t.Fatalf("initial occupancy = %v, want 1", occ)
+	}
+	for _, r := range refs[:5] {
+		s.MarkDead(r)
+	}
+	occ := s.Occupancy(refs[0].File)
+	if occ <= 0.45 || occ >= 0.55 {
+		t.Fatalf("occupancy after killing half = %v, want ~0.5", occ)
+	}
+	if s.Occupancy(999) != -1 {
+		t.Fatal("unknown file occupancy should be -1")
+	}
+}
+
+func TestScanAllOrder(t *testing.T) {
+	s, _ := Open(testFS(t, 256), smallConfig())
+	val := bytes.Repeat([]byte{2}, 200<<10)
+	for i := 0; i < 10; i++ {
+		s.Append(Record{Key: []byte{byte(i)}, Version: uint64(i), Value: val})
+	}
+	var seen []uint64
+	if err := s.ScanAll(func(rec Record, ref Ref) error {
+		seen = append(seen, rec.Version)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 10 {
+		t.Fatalf("scanned %d records, want 10", len(seen))
+	}
+	for i, v := range seen {
+		if v != uint64(i) {
+			t.Fatalf("scan order broken at %d: %v", i, seen)
+		}
+	}
+}
+
+func TestCandidatesThreshold(t *testing.T) {
+	s, _ := Open(testFS(t, 256), smallConfig())
+	val := bytes.Repeat([]byte{3}, 100<<10)
+	var refs []Ref
+	for i := 0; i < 25; i++ {
+		ref, _, _, _ := s.Append(Record{Key: []byte{byte(i)}, Version: 1, Value: val})
+		refs = append(refs, ref)
+	}
+	if len(s.Candidates()) != 0 {
+		t.Fatal("no candidates expected while fully live")
+	}
+	// Kill every record in the first file.
+	first := refs[0].File
+	for _, r := range refs {
+		if r.File == first {
+			s.MarkDead(r)
+		}
+	}
+	cands := s.Candidates()
+	if len(cands) != 1 || cands[0] != first {
+		t.Fatalf("Candidates = %v, want [%d]", cands, first)
+	}
+}
+
+func TestActiveFileNeverCandidate(t *testing.T) {
+	s, _ := Open(testFS(t, 64), smallConfig())
+	ref, _, _, _ := s.Append(Record{Key: []byte("a"), Version: 1, Value: make([]byte, 100)})
+	s.MarkDead(ref)
+	if len(s.Candidates()) != 0 {
+		t.Fatal("the active file must not be a GC candidate")
+	}
+	if _, _, err := s.CollectFile(ref.File, nil, nil); err == nil {
+		t.Fatal("collecting the active file should fail")
+	}
+}
+
+func TestCollectFilePreservesJudgedRecords(t *testing.T) {
+	s, _ := Open(testFS(t, 256), smallConfig())
+	val := bytes.Repeat([]byte{4}, 100<<10)
+	type item struct {
+		ref  Ref
+		live bool
+	}
+	items := map[string]*item{}
+	for i := 0; i < 25; i++ {
+		key := fmt.Sprintf("k%02d", i)
+		ref, _, _, _ := s.Append(Record{Key: []byte(key), Version: 1, Value: val})
+		items[key] = &item{ref: ref, live: i%5 == 0} // keep 1 in 5
+	}
+	firstFile := items["k00"].ref.File
+	for key, it := range items {
+		if it.ref.File == firstFile && !it.live {
+			s.MarkDead(it.ref)
+		}
+		_ = key
+	}
+	if got := s.Candidates(); len(got) == 0 || got[0] != firstFile {
+		t.Fatalf("candidates = %v", got)
+	}
+	judge := func(rec *Record, ref Ref) bool { return items[string(rec.Key)].live }
+	var relocations int
+	reclaimed, _, err := s.CollectFile(firstFile, judge, func(rec Record, old, new Ref) {
+		items[string(rec.Key)].ref = new
+		relocations++
+		if old.File != firstFile {
+			t.Errorf("relocated from wrong file %d", old.File)
+		}
+		if new.File == firstFile {
+			t.Error("relocated into the erased file")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relocations == 0 {
+		t.Fatal("expected relocations of live records")
+	}
+	if reclaimed <= 0 {
+		t.Fatal("expected reclaimed bytes")
+	}
+	// Live records must still read back from their new refs.
+	for key, it := range items {
+		if !it.live || it.ref.File != 0 && it.ref.File == firstFile {
+			continue
+		}
+		if it.live {
+			rec, _, err := s.Read(it.ref)
+			if err != nil {
+				t.Fatalf("read %s after GC: %v", key, err)
+			}
+			if string(rec.Key) != key {
+				t.Fatalf("wrong record after GC: %q", rec.Key)
+			}
+		}
+	}
+	// The file is gone.
+	if err := s.ScanFile(firstFile, func(Record, Ref) error { return nil }); err == nil {
+		t.Fatal("victim file should be erased")
+	}
+	if st := s.Stats(); st.GCRuns != 1 || st.GCFreed == 0 {
+		t.Fatalf("GC stats = %+v", st)
+	}
+}
+
+func TestLazyDeferralWithReaders(t *testing.T) {
+	fs := testFS(t, 256)
+	s, _ := Open(fs, smallConfig())
+	val := bytes.Repeat([]byte{5}, 100<<10)
+	var refs []Ref
+	for i := 0; i < 25; i++ {
+		ref, _, _, _ := s.Append(Record{Key: []byte{byte(i)}, Version: 1, Value: val})
+		refs = append(refs, ref)
+	}
+	first := refs[0].File
+	for _, r := range refs {
+		if r.File == first {
+			s.MarkDead(r)
+		}
+	}
+	if !s.ShouldCollect() {
+		t.Fatal("ShouldCollect = false with candidate and no readers")
+	}
+	// Simulate an in-flight read by hijacking Read with a slow judge: we
+	// can't easily pause Read, so exercise the deferral through the
+	// readers counter via a concurrent Read in a goroutine is racy;
+	// instead verify the no-pressure branch using a live reader window.
+	done := make(chan struct{})
+	go func() {
+		// A Read takes the reader slot for its duration.
+		s.Read(refs[len(refs)-1])
+		close(done)
+	}()
+	<-done // after it finishes, counter is back to zero
+	if !s.ShouldCollect() {
+		t.Fatal("ShouldCollect should be true once reads drain")
+	}
+}
+
+func TestCollectOnceNoCandidates(t *testing.T) {
+	s, _ := Open(testFS(t, 64), smallConfig())
+	collected, _, err := s.CollectOnce(nil, nil)
+	if err != nil || collected {
+		t.Fatalf("CollectOnce on empty store = %v, %v", collected, err)
+	}
+}
+
+func TestRecoveryScanRebuild(t *testing.T) {
+	fs := testFS(t, 256)
+	s, _ := Open(fs, smallConfig())
+	val := bytes.Repeat([]byte{6}, 50<<10)
+	want := map[string]Ref{}
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("key-%03d", i)
+		ref, _, _, _ := s.Append(Record{Key: []byte(key), Version: uint64(i), Value: val})
+		want[key] = ref
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": reopen over the same filesystem and rebuild liveness.
+	s2, err := Open(fs, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]Ref{}
+	if err := s2.ScanAll(func(rec Record, ref Ref) error {
+		got[string(rec.Key)] = ref
+		s2.MarkLive(ref)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for key, ref := range want {
+		if got[key] != ref {
+			t.Fatalf("ref mismatch for %s: %+v != %+v", key, got[key], ref)
+		}
+		rec, _, err := s2.Read(ref)
+		if err != nil || string(rec.Key) != key {
+			t.Fatalf("read after recovery failed for %s: %v", key, err)
+		}
+	}
+	// Liveness restored: occupancy of sealed files should be 1.
+	for _, id := range s2.Files() {
+		if occ := s2.Occupancy(id); occ < 0.999 {
+			t.Fatalf("file %d occupancy = %v after MarkLive rebuild", id, occ)
+		}
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	fs := testFS(t, 16)
+	if _, err := Open(fs, Config{FileSize: 0}); err == nil {
+		t.Fatal("zero file size should be rejected")
+	}
+	if _, err := Open(fs, Config{FileSize: 1, GCThreshold: 2}); err == nil {
+		t.Fatal("threshold > 1 should be rejected")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary records.
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(key []byte, version uint64, flags uint8, value []byte) bool {
+		if len(key) > 60000 {
+			key = key[:60000]
+		}
+		rec := Record{Key: key, Version: version, Flags: flags, Value: value}
+		got, n, err := Decode(Encode(rec))
+		if err != nil || n != EncodedLen(len(key), len(value)) {
+			return false
+		}
+		return bytes.Equal(got.Key, key) && got.Version == version &&
+			got.Flags == flags && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

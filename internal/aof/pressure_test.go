@@ -1,0 +1,79 @@
+package aof
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestUnderPressureDisabledByDefault(t *testing.T) {
+	s, _ := Open(testFS(t, 16), smallConfig())
+	s.Append(Record{Key: []byte("k"), Version: 1, Value: bytes.Repeat([]byte{1}, 3<<20)})
+	if s.UnderPressure() {
+		t.Fatal("pressure must be disabled when MinFreeBytes is zero")
+	}
+}
+
+func TestUnderPressureThreshold(t *testing.T) {
+	// Device: 16 blocks x 256KB = 4 MB. Pressure floor: 2 MB free.
+	cfg := Config{FileSize: 1 << 20, GCThreshold: 0.25, MinFreeBytes: 2 << 20}
+	s, _ := Open(testFS(t, 16), cfg)
+	if s.UnderPressure() {
+		t.Fatal("fresh store should not report pressure")
+	}
+	val := bytes.Repeat([]byte{2}, 512<<10)
+	for i := 0; i < 5; i++ { // ~2.5 MB used -> free < 2 MB
+		if _, _, _, err := s.Append(Record{Key: []byte{byte(i)}, Version: 1, Value: val}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.UnderPressure() {
+		t.Fatal("store should report pressure once free space < MinFreeBytes")
+	}
+}
+
+func TestPressureCandidatePicksEmptiest(t *testing.T) {
+	s, _ := Open(testFS(t, 64), smallConfig())
+	val := bytes.Repeat([]byte{3}, 100<<10)
+	var refs []Ref
+	for i := 0; i < 25; i++ { // several sealed 1MB files
+		ref, _, _, _ := s.Append(Record{Key: []byte{byte(i)}, Version: 1, Value: val})
+		refs = append(refs, ref)
+	}
+	// No file below the candidate ceiling yet (all fully live).
+	if _, ok := s.PressureCandidate(); ok {
+		t.Fatal("fully-live store should have no pressure candidate")
+	}
+	// Kill 60% of the second file: occupancy ~0.4, above the lazy 0.25
+	// threshold (not a normal candidate) but a valid pressure victim.
+	second := refs[0].File + 1
+	killed := 0
+	for _, r := range refs {
+		if r.File == second && killed < 6 {
+			s.MarkDead(r)
+			killed++
+		}
+	}
+	if cands := s.Candidates(); len(cands) != 0 {
+		t.Fatalf("lazy candidates = %v, want none at ~0.4 occupancy", cands)
+	}
+	id, ok := s.PressureCandidate()
+	if !ok || id != second {
+		t.Fatalf("PressureCandidate = %d, %v; want file %d", id, ok, second)
+	}
+}
+
+func TestPressureCandidateSkipsNearlyFull(t *testing.T) {
+	s, _ := Open(testFS(t, 64), smallConfig())
+	val := bytes.Repeat([]byte{4}, 40<<10) // ~25 records per 1MB file
+	var refs []Ref
+	for i := 0; i < 60; i++ {
+		ref, _, _, _ := s.Append(Record{Key: []byte{byte(i)}, Version: 1, Value: val})
+		refs = append(refs, ref)
+	}
+	// Kill just one record of the first file: ~96% occupancy remains,
+	// above the 95% ceiling — rewriting it would reclaim almost nothing.
+	s.MarkDead(refs[0])
+	if id, ok := s.PressureCandidate(); ok {
+		t.Fatalf("PressureCandidate = %d, want none for ~96%% occupancy", id)
+	}
+}

@@ -1,0 +1,181 @@
+package blockfs
+
+import (
+	"errors"
+	"time"
+
+	"directload/internal/ssd"
+)
+
+// NativeFS stores each file in exclusively-owned erase blocks through the
+// device's native interface. Files occupy whole blocks; Remove erases
+// exactly those blocks. Because no two files ever share a block, device
+// garbage collection never migrates a byte — the paper's block-aligned
+// layout with zero hardware write amplification.
+type NativeFS struct {
+	core
+	ppb int
+}
+
+// NewNativeFS creates a native filesystem over dev.
+func NewNativeFS(dev *ssd.Device) *NativeFS {
+	fs := &NativeFS{ppb: dev.Config().PagesPerBlock}
+	fs.core = core{
+		files:    make(map[string]*file),
+		pageSize: dev.Config().PageSize,
+		dev:      dev,
+	}
+	fs.core.readPage = fs.readPageRef
+	fs.core.writeTail = fs.flushTail
+	fs.core.freeFile = fs.releaseFile
+	return fs
+}
+
+func (fs *NativeFS) readPageRef(ref int32) ([]byte, time.Duration, error) {
+	blockID := int(ref) / fs.ppb
+	page := int(ref) % fs.ppb
+	return fs.dev.ReadPage(ssd.OwnerNative, blockID, page)
+}
+
+// flushTail moves every complete page from f.tail onto flash. Runs with
+// core.mu held.
+func (fs *NativeFS) flushTail(f *file) (time.Duration, error) {
+	var total time.Duration
+	for len(f.tail) >= fs.pageSize {
+		pageInBlock := len(f.pages) % fs.ppb
+		var blockID int
+		if pageInBlock == 0 {
+			id, err := fs.dev.AllocBlock(ssd.OwnerNative)
+			if err != nil {
+				return total, err
+			}
+			blockID = id
+		} else {
+			blockID = int(f.pages[len(f.pages)-1]) / fs.ppb
+		}
+		cost, err := fs.dev.ProgramPage(ssd.OwnerNative, blockID, pageInBlock, f.tail[:fs.pageSize])
+		total += cost
+		if err != nil {
+			return total, err
+		}
+		f.pages = append(f.pages, int32(blockID*fs.ppb+pageInBlock))
+		f.tail = f.tail[fs.pageSize:]
+	}
+	if len(f.tail) == 0 {
+		f.tail = nil
+	}
+	return total, nil
+}
+
+// releaseFile erases every block the file occupied. All pages in those
+// blocks belong to this file, so the erase reclaims them wholesale.
+func (fs *NativeFS) releaseFile(f *file) (time.Duration, error) {
+	var total time.Duration
+	var firstErr error
+	seen := int32(-1)
+	for _, ref := range f.pages {
+		blockID := ref / int32(fs.ppb)
+		if blockID == seen {
+			continue
+		}
+		seen = blockID
+		cost, err := fs.dev.EraseBlock(ssd.OwnerNative, int(blockID))
+		total += cost
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.pages = nil
+	f.tail = nil
+	return total, firstErr
+}
+
+var _ FS = (*NativeFS)(nil)
+
+// ErrSpaceExhausted is returned by FTLFS when the logical address space
+// is fully allocated to live files.
+var ErrSpaceExhausted = errors.New("blockfs: logical space exhausted")
+
+// FTLFS stores files as logical pages of a conventional page-mapped FTL.
+// Remove only trims the logical pages; the flash space is reclaimed later
+// by device GC, paying the migration cost the paper attributes to
+// non-block-aligned layouts.
+type FTLFS struct {
+	ftl      *ssd.FTL
+	freeLPNs []int
+	nextLPN  int
+	core
+}
+
+// NewFTLFS creates a filesystem over a page-mapped FTL.
+func NewFTLFS(ftl *ssd.FTL) *FTLFS {
+	fs := &FTLFS{ftl: ftl}
+	fs.core = core{
+		files:    make(map[string]*file),
+		pageSize: ftl.Device().Config().PageSize,
+		dev:      ftl.Device(),
+	}
+	fs.core.readPage = fs.readPageRef
+	fs.core.writeTail = fs.flushTail
+	fs.core.freeFile = fs.releaseFile
+	return fs
+}
+
+func (fs *FTLFS) readPageRef(ref int32) ([]byte, time.Duration, error) {
+	return fs.ftl.Read(int(ref))
+}
+
+// allocLPN hands out a free logical page. Runs with core.mu held.
+func (fs *FTLFS) allocLPN() (int, error) {
+	if n := len(fs.freeLPNs); n > 0 {
+		lpn := fs.freeLPNs[n-1]
+		fs.freeLPNs = fs.freeLPNs[:n-1]
+		return lpn, nil
+	}
+	if fs.nextLPN >= fs.ftl.LogicalPages() {
+		return 0, ErrSpaceExhausted
+	}
+	lpn := fs.nextLPN
+	fs.nextLPN++
+	return lpn, nil
+}
+
+func (fs *FTLFS) flushTail(f *file) (time.Duration, error) {
+	var total time.Duration
+	for len(f.tail) >= fs.pageSize {
+		lpn, err := fs.allocLPN()
+		if err != nil {
+			return total, err
+		}
+		cost, err := fs.ftl.Write(lpn, f.tail[:fs.pageSize])
+		total += cost
+		if err != nil {
+			return total, err
+		}
+		f.pages = append(f.pages, int32(lpn))
+		f.tail = f.tail[fs.pageSize:]
+	}
+	if len(f.tail) == 0 {
+		f.tail = nil
+	}
+	return total, nil
+}
+
+func (fs *FTLFS) releaseFile(f *file) (time.Duration, error) {
+	// Trims are metadata-only at the FTL: no device time is charged here;
+	// the real cost surfaces later as GC migration of co-located data.
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var firstErr error
+	for _, ref := range f.pages {
+		if err := fs.ftl.Trim(int(ref)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		fs.freeLPNs = append(fs.freeLPNs, int(ref))
+	}
+	f.pages = nil
+	f.tail = nil
+	return 0, firstErr
+}
+
+var _ FS = (*FTLFS)(nil)

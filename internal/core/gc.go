@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"directload/internal/aof"
+)
+
+// MaybeGC runs at most one garbage collection pass if the lazy policy
+// allows it: there must be a candidate file at or below the occupancy
+// threshold, and either no reads in flight or free-space pressure
+// (paper §4.1.2: "the GC will be deferred if there are ongoing reads and
+// free disk space").
+func (db *DB) MaybeGC() (time.Duration, error) {
+	if !db.store.ShouldCollect() {
+		return 0, nil
+	}
+	return db.CollectOnce()
+}
+
+// CollectOnce collects the lowest-occupancy candidate file now,
+// bypassing the read-deferral rule (used by tests and by the forced
+// space-pressure path). It is a no-op when no file qualifies.
+func (db *DB) CollectOnce() (time.Duration, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	cands := db.store.Candidates()
+	if len(cands) == 0 {
+		return 0, nil
+	}
+	_, cost, err := db.store.CollectFile(cands[0], db.gcJudge, db.gcRelocated)
+	return cost, err
+}
+
+// CollectAll drains every candidate (used when simulating shutdown
+// compaction and in the eager-GC ablation).
+func (db *DB) CollectAll() (time.Duration, error) {
+	var total time.Duration
+	for {
+		db.mu.Lock()
+		if db.closed {
+			db.mu.Unlock()
+			return total, ErrClosed
+		}
+		cands := db.store.Candidates()
+		if len(cands) == 0 {
+			db.mu.Unlock()
+			return total, nil
+		}
+		_, cost, err := db.store.CollectFile(cands[0], db.gcJudge, db.gcRelocated)
+		db.mu.Unlock()
+		total += cost
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// gcJudge decides whether the record at ref survives collection of its
+// file (paper Fig. 2, GC step 4). Runs with db.mu held (CollectOnce).
+// Side effect: items whose records are dropped for good are removed from
+// the skip list ("QinDB also removes their matching items in the skip
+// list, which has the deletion flag set already").
+func (db *DB) gcJudge(rec *aof.Record, ref aof.Ref) bool {
+	if rec.IsVersionDrop() {
+		// Version-retention meta-records are a few bytes each and must
+		// stay durable for recovery; always relocate.
+		return true
+	}
+	ik := ikey{string(rec.Key), rec.Version}
+	if rec.IsTombstone() {
+		// A tombstone is needed until the deletion it records is folded
+		// into the data record itself (FlagDropped) or the item is gone.
+		it, ok := db.table.Get(ik)
+		return ok && it.has(fDeleted) && !it.has(fOnDiskDeleted)
+	}
+	it, ok := db.table.Get(ik)
+	if !ok || it.ref != ref {
+		return false // item removed earlier, or this is a stale copy
+	}
+	if !it.has(fDeleted) {
+		return true // live data: relocate
+	}
+	// Deleted: keep only if a newer deduplicated version still refers to
+	// this value ("invalid key-value pairs that are referred by later
+	// version keys"). Fold the deletion into the relocated record so it
+	// survives recovery without the tombstone.
+	if db.isReferredLocked(ik.key, ik.ver) {
+		rec.Flags |= aof.FlagDropped
+		return true
+	}
+	db.table.Delete(ik)
+	return false
+}
+
+// gcRelocated updates the skip-list offset of a relocated record (paper
+// Fig. 2, GC step 5). Runs with db.mu held.
+func (db *DB) gcRelocated(rec aof.Record, old, new aof.Ref) {
+	if rec.IsTombstone() || rec.IsVersionDrop() {
+		return // no item carries a tombstone ref
+	}
+	ik := ikey{string(rec.Key), rec.Version}
+	db.table.Update(ik, func(v item) item {
+		if v.ref == old {
+			v.ref = new
+			if rec.IsDropped() {
+				v.flags |= fOnDiskDeleted
+			}
+		}
+		return v
+	})
+}
+
+// isReferredLocked reports whether the entry (key, ver) is the bound
+// traceback base of any newer deduplicated entry of the same key. This is
+// exact because dedup bindings are resolved at PUT time and never change.
+func (db *DB) isReferredLocked(key string, ver uint64) bool {
+	referred := false
+	db.table.Ascend(ikey{key, math.MaxUint64}, func(k ikey, v item) bool {
+		if k.key != key || k.ver <= ver {
+			return false
+		}
+		if v.has(fHasBase) && v.base == ver {
+			referred = true
+			return false
+		}
+		return true
+	})
+	return referred
+}

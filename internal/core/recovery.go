@@ -1,0 +1,348 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"time"
+
+	"directload/internal/aof"
+)
+
+// Recovery and checkpointing (paper §2.1, §2.3): after a failure the
+// memtable and the GC table are rebuilt by scanning the AOFs. Periodic
+// checkpoints bound the scan: a checkpoint freezes the memtable image
+// and the set of sealed AOF files whose records it fully reflects;
+// recovery then loads the image and replays only files written (or still
+// active) after the checkpoint, in sequence-number order.
+
+const ckptMagic = "QCKP1\n"
+
+func ckptName(floor uint64) string { return fmt.Sprintf("ckpt-%016d", floor) }
+
+func parseCkptName(name string) (uint64, bool) {
+	var floor uint64
+	if _, err := fmt.Sscanf(name, "ckpt-%016d", &floor); err != nil {
+		return 0, false
+	}
+	return floor, true
+}
+
+// Checkpoint writes a durable image of the memtable and returns the
+// simulated device cost. Older checkpoints are removed. The caller may
+// invoke it on any schedule; with Options.CheckpointEveryBytes set the
+// engine also checkpoints itself periodically, as the paper describes.
+func (db *DB) Checkpoint() (time.Duration, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	return db.checkpointLocked()
+}
+
+// maybeCheckpointLocked runs the periodic checkpoint policy. Runs with
+// db.mu held.
+func (db *DB) maybeCheckpointLocked() (time.Duration, error) {
+	if db.opts.CheckpointEveryBytes <= 0 || db.sinceCkpt < db.opts.CheckpointEveryBytes {
+		return 0, nil
+	}
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() (time.Duration, error) {
+	floor := db.maxSeq
+	// Every mutation appends a record and advances maxSeq, so an existing
+	// checkpoint at this floor already holds an identical image.
+	if _, err := db.fs.Size(ckptName(floor)); err == nil {
+		return 0, nil
+	}
+	// Sealed files fully reflected by this checkpoint: every AOF except
+	// the active one (whose tail may still grow).
+	sealed := db.sealedFilesLocked()
+
+	var body []byte
+	put32 := func(v uint32) { body = binary.LittleEndian.AppendUint32(body, v) }
+	put64 := func(v uint64) { body = binary.LittleEndian.AppendUint64(body, v) }
+	put64(floor)
+	put32(uint32(len(sealed)))
+	for _, id := range sealed {
+		put32(id)
+	}
+	put32(uint32(db.table.Len()))
+	db.table.AscendAll(func(k ikey, v item) bool {
+		put32(uint32(len(k.key)))
+		body = append(body, k.key...)
+		put64(k.ver)
+		body = append(body, v.flags)
+		put64(v.base)
+		put32(v.ref.File)
+		put64(uint64(v.ref.Off))
+		put32(v.ref.Len)
+		return true
+	})
+
+	name := ckptName(floor)
+	w, err := db.fs.Create(name)
+	if err != nil {
+		return 0, err
+	}
+	var cost time.Duration
+	_, c, err := w.Append([]byte(ckptMagic))
+	cost += c
+	if err == nil {
+		_, c, err = w.Append(body)
+		cost += c
+	}
+	if err == nil {
+		var crc [4]byte
+		binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+		_, c, err = w.Append(crc[:])
+		cost += c
+	}
+	if err != nil {
+		w.Close()
+		return cost, err
+	}
+	c, err = w.Close()
+	cost += c
+	if err != nil {
+		return cost, err
+	}
+	// Drop superseded checkpoints.
+	for _, n := range db.fs.List() {
+		if f, ok := parseCkptName(n); ok && f < floor {
+			if c, err := db.fs.Remove(n); err == nil {
+				cost += c
+			}
+		}
+	}
+	db.sinceCkpt = 0
+	db.checkpoints++
+	return cost, nil
+}
+
+// sealedFilesLocked returns the ids of AOF files that will receive no
+// further appends (everything except the active file).
+func (db *DB) sealedFilesLocked() []uint32 {
+	ids := db.store.Files()
+	if n := len(ids); n > 0 {
+		// The store appends strictly to the newest file; all others are
+		// sealed. (A rotation could reopen a new id, never an old one.)
+		return ids[:n-1]
+	}
+	return nil
+}
+
+// loadCheckpoint reads and validates the newest checkpoint, populating
+// the memtable and returning (floorSeq, sealed file set, true). A missing
+// or corrupt checkpoint yields ok=false and recovery falls back to a full
+// scan.
+func (db *DB) loadCheckpoint() (floor uint64, sealed map[uint32]bool, ok bool) {
+	var best string
+	var bestFloor uint64
+	for _, n := range db.fs.List() {
+		if f, okName := parseCkptName(n); okName && (best == "" || f > bestFloor) {
+			best, bestFloor = n, f
+		}
+	}
+	if best == "" {
+		return 0, nil, false
+	}
+	size, err := db.fs.Size(best)
+	if err != nil || size < int64(len(ckptMagic))+4 {
+		return 0, nil, false
+	}
+	r, err := db.fs.Open(best)
+	if err != nil {
+		return 0, nil, false
+	}
+	buf := make([]byte, size)
+	if _, _, err := r.ReadAt(buf, 0); err != nil {
+		return 0, nil, false
+	}
+	if string(buf[:len(ckptMagic)]) != ckptMagic {
+		return 0, nil, false
+	}
+	body := buf[len(ckptMagic) : size-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(buf[size-4:]) {
+		return 0, nil, false
+	}
+	p := 0
+	need := func(n int) bool { return p+n <= len(body) }
+	get32 := func() uint32 { v := binary.LittleEndian.Uint32(body[p:]); p += 4; return v }
+	get64 := func() uint64 { v := binary.LittleEndian.Uint64(body[p:]); p += 8; return v }
+	if !need(12) {
+		return 0, nil, false
+	}
+	floor = get64()
+	sealedN := int(get32())
+	sealed = make(map[uint32]bool, sealedN)
+	for i := 0; i < sealedN; i++ {
+		if !need(4) {
+			return 0, nil, false
+		}
+		sealed[get32()] = true
+	}
+	if !need(4) {
+		return 0, nil, false
+	}
+	count := int(get32())
+	for i := 0; i < count; i++ {
+		if !need(4) {
+			return 0, nil, false
+		}
+		klen := int(get32())
+		if !need(klen + 8 + 1 + 8 + 4 + 8 + 4) {
+			return 0, nil, false
+		}
+		key := string(body[p : p+klen])
+		p += klen
+		ver := get64()
+		flags := body[p]
+		p++
+		base := get64()
+		ref := aof.Ref{File: get32()}
+		ref.Off = int64(get64())
+		ref.Len = get32()
+		db.table.Set(ikey{key, ver}, item{ref: ref, base: base, flags: flags})
+	}
+	return floor, sealed, true
+}
+
+// recover rebuilds the memtable, version table and GC occupancy table
+// from flash. Called by Open with no other users of the DB.
+func (db *DB) recover() error {
+	files := db.store.Files()
+	if len(files) == 0 && len(db.fs.List()) == 0 {
+		return nil // fresh store
+	}
+	floor, sealedAtCkpt, haveCkpt := db.loadCheckpoint()
+
+	// Gather records that post-date the checkpoint. Files sealed at
+	// checkpoint time contain only pre-floor records and are skipped.
+	type replayRec struct {
+		rec aof.Record
+		ref aof.Ref
+	}
+	var replay []replayRec
+	var tombs []replayRec // tombstones, for occupancy rebuild
+	var maxSeq uint64
+	for _, id := range files {
+		if haveCkpt && sealedAtCkpt[id] {
+			continue
+		}
+		err := db.store.ScanFile(id, func(rec aof.Record, ref aof.Ref) error {
+			if rec.Seq >= maxSeq {
+				maxSeq = rec.Seq + 1
+			}
+			if haveCkpt && rec.Seq < floor {
+				return nil
+			}
+			replay = append(replay, replayRec{rec, ref})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if floor > maxSeq {
+		maxSeq = floor
+	}
+	sort.SliceStable(replay, func(i, j int) bool { return replay[i].rec.Seq < replay[j].rec.Seq })
+
+	touched := make(map[ikey]bool)
+	for _, rr := range replay {
+		rec := rr.rec
+		switch {
+		case rec.IsVersionDrop():
+			db.replayVersionDropLocked(rec.Version)
+			tombs = append(tombs, rr)
+		case rec.IsTombstone():
+			ik := ikey{string(rec.Key), rec.Version}
+			db.table.Update(ik, func(v item) item {
+				v.flags |= fDeleted
+				return v
+			})
+			tombs = append(tombs, rr)
+		default:
+			ik := ikey{string(rec.Key), rec.Version}
+			var flags uint8
+			var base uint64
+			if rec.IsDedup() {
+				flags |= fDedup
+				if b, ok := decodeBase(rec.Value); ok {
+					base = b
+					flags |= fHasBase
+				}
+			}
+			if rec.IsDropped() {
+				flags |= fDeleted | fOnDiskDeleted
+			}
+			db.table.Set(ik, item{ref: rr.ref, base: base, flags: flags})
+			touched[ik] = true
+		}
+	}
+
+	// Checkpointed items whose file was erased by GC after the
+	// checkpoint: if the record had been relocated, the replay above
+	// re-pointed the item (GC relocation always assigns a post-floor
+	// sequence number). Anything still pointing into a missing file was
+	// dropped by GC as dead — remove it.
+	if haveCkpt {
+		exists := make(map[uint32]bool, len(files))
+		for _, id := range files {
+			exists[id] = true
+		}
+		var stale []ikey
+		db.table.AscendAll(func(k ikey, v item) bool {
+			if !touched[k] && !exists[v.ref.File] {
+				stale = append(stale, k)
+			}
+			return true
+		})
+		for _, k := range stale {
+			db.table.Delete(k)
+		}
+	}
+
+	// Rebuild the version table and the GC occupancy table. Liveness
+	// mirrors normal operation: data records count live only while their
+	// item is not deleted (Del and DropVersion mark records dead
+	// immediately, even when a dedup chain still references them);
+	// tombstone records count live from append and are never marked dead.
+	db.versions = make(map[uint64]int)
+	db.table.AscendAll(func(k ikey, v item) bool {
+		if !v.has(fDeleted) {
+			db.versions[k.ver]++
+			db.store.MarkLive(v.ref)
+		}
+		return true
+	})
+	for _, tb := range tombs {
+		db.store.MarkLive(tb.ref)
+	}
+
+	db.maxSeq = maxSeq
+	db.store.SeqFloor(maxSeq)
+	return nil
+}
+
+// replayVersionDropLocked applies a version-drop meta-record during
+// recovery (no occupancy updates: liveness is rebuilt afterwards).
+func (db *DB) replayVersionDropLocked(version uint64) {
+	var targets []ikey
+	db.table.AscendAll(func(k ikey, v item) bool {
+		if k.ver == version && !v.has(fDeleted) {
+			targets = append(targets, k)
+		}
+		return true
+	})
+	for _, ik := range targets {
+		db.table.Update(ik, func(v item) item {
+			v.flags |= fDeleted
+			return v
+		})
+	}
+}

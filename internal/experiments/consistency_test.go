@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestGrayConsistency(t *testing.T) {
+	rs, err := ConsistencySweep(ConsistencyConfig{
+		Documents: 250, Queries: 150, TopK: 5, Seed: 1,
+	}, []float64{0.01, 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, high := rs[0], rs[1]
+	t.Logf("low churn: %v", low)
+	t.Logf("high churn: %v", high)
+	// Post-activation searches are identical everywhere, always.
+	for _, r := range rs {
+		if r.RateAfter != 0 {
+			t.Fatalf("inconsistency after activation = %v, want 0", r.RateAfter)
+		}
+	}
+	// Gray-release inconsistency scales with content churn; at hourly
+	// churn it stays small (the regime behind the paper's <0.1%).
+	if low.RateDuring >= high.RateDuring {
+		t.Fatalf("inconsistency should grow with churn: %.3f vs %.3f",
+			low.RateDuring, high.RateDuring)
+	}
+	if low.RateDuring > 0.25 {
+		t.Fatalf("hourly-churn inconsistency = %.3f, want small", low.RateDuring)
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+// TestRunsAreDeterministic: identical configs must reproduce identical
+// results — the property that makes EXPERIMENTS.md's recorded numbers
+// regenerable and the benchmarks comparable across machines.
+func TestRunsAreDeterministic(t *testing.T) {
+	cfg := smallFig5()
+	a, err := RunFig5(QinDB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig5(QinDB, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UserBytes != b.UserBytes || a.SysWriteBytes != b.SysWriteBytes ||
+		a.SysReadBytes != b.SysReadBytes || a.Elapsed != b.Elapsed {
+		t.Fatalf("Fig5 runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.WriteAmp != b.WriteAmp || a.FinalDiskGB != b.FinalDiskGB {
+		t.Fatalf("Fig5 derived stats diverged: %v/%v vs %v/%v",
+			a.WriteAmp, a.FinalDiskGB, b.WriteAmp, b.FinalDiskGB)
+	}
+}
+
+func TestMonthDeterministic(t *testing.T) {
+	cfg := smallMonth()
+	d1, s1, err := RunMonth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, s2, err := RunMonth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("month summaries diverged:\n%+v\n%+v", s1, s2)
+	}
+	if len(d1) != len(d2) {
+		t.Fatalf("day counts diverged: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("day %d diverged:\n%+v\n%+v", d1[i].Day, d1[i], d2[i])
+		}
+	}
+}
+
+func TestSeedChangesResults(t *testing.T) {
+	a := smallFig5()
+	b := smallFig5()
+	b.Seed = 99
+	ra, err := RunFig5(QinDB, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunFig5(QinDB, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.SysWriteBytes == rb.SysWriteBytes && ra.Elapsed == rb.Elapsed {
+		t.Fatal("different seeds produced byte-identical runs; randomness not wired")
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"directload/internal/aof"
+	"directload/internal/bifrost"
+	"directload/internal/cluster"
+	"directload/internal/core"
+	"directload/internal/lsm"
+	"directload/internal/mint"
+	"directload/internal/workload"
+)
+
+// MonthConfig shapes the month-long cross-region trace replay behind
+// Figs. 9 and 10: 30 days, 10 version builds, per-day redundancy
+// wandering between DupLo and DupHi.
+type MonthConfig struct {
+	Keys      int
+	ValueSize int
+	DupLo     float64 // redundancy range across the month (Fig. 9's
+	DupHi     float64 // ratio wanders between ~23% and ~80%)
+	// WithDirectLoad selects the full system (dedup + QinDB); false runs
+	// the baseline (no dedup + LevelDB nodes) of Fig. 10a.
+	WithDirectLoad bool
+	// CorruptProb injects per-hop corruption (Fig. 10b failure model).
+	CorruptProb float64
+	// LinkFailProb is the per-version probability that a random
+	// relay→DC link fails mid-transfer and recovers minutes later; the
+	// slow repair path produces the late deliveries behind Fig. 10b.
+	LinkFailProb float64
+	// MissDeadline is the lateness threshold (the paper uses one hour
+	// on GB-scale slices; the default scales it to this trace).
+	MissDeadline time.Duration
+	// LinkBandwidth scales the fabric (bytes/sec per link).
+	LinkBandwidth float64
+	Seed          int64
+}
+
+// DefaultMonthConfig returns the laptop-scale month replay.
+func DefaultMonthConfig() MonthConfig {
+	return MonthConfig{
+		Keys:           300,
+		ValueSize:      16 << 10,
+		DupLo:          0.30,
+		DupHi:          0.90,
+		WithDirectLoad: true,
+		CorruptProb:    0.08,
+		LinkFailProb:   0.1,
+		MissDeadline:   90 * time.Second,
+		LinkBandwidth:  1e6,
+		Seed:           1,
+	}
+}
+
+// DayResult is one day of the Fig. 9 / Fig. 10 series.
+type DayResult struct {
+	Day           int
+	DedupRatio    float64 // fraction of bytes elided (0 when disabled)
+	UpdateMinutes float64 // effective update time (network ∪ storage)
+	ThroughputKps float64 // 10^3 keys/sec loaded, Fig. 10a's unit
+	MissRatio     float64 // cumulative, Fig. 10b
+	// Repairs counts slow repair-process activations during this
+	// version — the "other factors" the paper says cause update-time
+	// fluctuations unrelated to the dedup ratio.
+	Repairs int64
+}
+
+// MonthSummary aggregates a month run.
+type MonthSummary struct {
+	System        string // "DirectLoad" or "baseline"
+	Versions      int
+	MeanUpdateMin float64
+	MeanKps       float64
+	MeanDedup     float64
+	MissRatio     float64
+	WireBytes     int64
+	PayloadBytes  int64
+}
+
+// monthSystemConfig assembles the cluster for a month run.
+func monthSystemConfig(cfg MonthConfig) cluster.Config {
+	top := bifrost.TopologyConfig{
+		RegionNames:       []string{"north", "east", "south"},
+		RelaysPerRegion:   4,
+		DCsPerRegion:      2,
+		BuilderUplink:     cfg.LinkBandwidth,
+		BackboneBandwidth: cfg.LinkBandwidth,
+		RegionalBandwidth: cfg.LinkBandwidth,
+		ReserveStreams:    true,
+		MonitorInterval:   time.Second,
+	}
+	m := mint.Config{
+		Groups:        2,
+		NodesPerGroup: 3,
+		Replicas:      3,
+		NodeCapacity:  512 << 20,
+	}
+	if cfg.WithDirectLoad {
+		opts := core.DefaultOptions()
+		opts.AOF = aof.Config{FileSize: 8 << 20, GCThreshold: 0.25}
+		m.Factory = mint.QinDBFactory(opts)
+	} else {
+		m.Factory = mint.LSMFactory(lsm.DefaultOptions())
+	}
+	return cluster.Config{
+		Topology:       top,
+		Mint:           m,
+		SliceLimit:     256 << 10,
+		RetainVersions: 4,
+		DedupEnabled:   cfg.WithDirectLoad,
+		CorruptProb:    cfg.CorruptProb,
+		Seed:           cfg.Seed,
+	}
+}
+
+// RunMonth replays the month-long trace through the full system and
+// returns the per-day series plus a summary.
+func RunMonth(cfg MonthConfig) ([]DayResult, MonthSummary, error) {
+	if cfg.Keys == 0 {
+		cfg = DefaultMonthConfig()
+	}
+	name := "DirectLoad"
+	if !cfg.WithDirectLoad {
+		name = "baseline"
+	}
+	sum := MonthSummary{System: name}
+
+	sys, err := cluster.New(monthSystemConfig(cfg))
+	if err != nil {
+		return nil, sum, err
+	}
+	defer sys.Close()
+	if cfg.MissDeadline > 0 {
+		sys.Shipper.Deadline = cfg.MissDeadline
+	}
+	// With a bounded fast-retransmit budget, a rare burst of consecutive
+	// corruptions falls through to the slow repair process and arrives
+	// past the deadline — the tail behind the paper's 0.24% miss ratio.
+	sys.Shipper.MaxRetries = 2
+	failRng := rand.New(rand.NewSource(cfg.Seed + 17))
+
+	gen, err := workload.NewGenerator(workload.KVConfig{
+		Keys:            cfg.Keys,
+		ValueSize:       cfg.ValueSize,
+		ValueSizeStdDev: cfg.ValueSize / 8,
+		DupRatio:        0, // per-day ratio supplied explicitly below
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, sum, err
+	}
+
+	days := workload.MonthProfile(cfg.DupLo, cfg.DupHi, cfg.Seed+5)
+	var out []DayResult
+	version := uint64(0)
+	for _, day := range days {
+		if !day.NewVersion {
+			continue
+		}
+		version++
+		// Failure injection: occasionally a relay→DC link drops during
+		// the transfer and recovers minutes later; deliveries that go
+		// through the repair path arrive past the deadline.
+		if cfg.LinkFailProb > 0 && failRng.Float64() < cfg.LinkFailProb {
+			region := sys.Top.Regions[failRng.Intn(len(sys.Top.Regions))]
+			relay := region.Relays[failRng.Intn(len(region.Relays))]
+			dc := region.DCs[failRng.Intn(len(region.DCs))]
+			downFor := time.Duration(10+failRng.Intn(10)) * time.Second
+			sys.Top.Net.After(time.Second, func(now time.Duration) {
+				sys.Top.Net.SetLinkDown(relay, dc, true)
+			})
+			sys.Top.Net.After(time.Second+downFor, func(now time.Duration) {
+				sys.Top.Net.SetLinkDown(relay, dc, false)
+			})
+		}
+		var entries []cluster.Entry
+		err := gen.NextVersionRatio(day.DupRatio, func(e workload.Entry) error {
+			stream := bifrost.StreamInverted
+			if len(entries)%3 == 0 { // a third of the volume is summary data
+				stream = bifrost.StreamSummary
+			}
+			entries = append(entries, cluster.Entry{Key: e.Key, Value: e.Value, Stream: stream})
+			return nil
+		})
+		if err != nil {
+			return out, sum, err
+		}
+		repairsBefore := sys.Shipper.Stats().Repairs
+		rep, err := sys.PublishVersion(version, entries)
+		if err != nil {
+			return out, sum, err
+		}
+		eff := rep.EffectiveTime()
+		dr := DayResult{
+			Day:           day.Day,
+			DedupRatio:    rep.Dedup.ByteRatio(),
+			UpdateMinutes: eff.Minutes(),
+			MissRatio:     sys.Shipper.MissRatio(),
+			Repairs:       sys.Shipper.Stats().Repairs - repairsBefore,
+		}
+		if eff > 0 {
+			dr.ThroughputKps = float64(rep.Keys) / eff.Seconds() / 1e3
+		}
+		out = append(out, dr)
+		sum.WireBytes += rep.WireBytes
+		sum.PayloadBytes += rep.PayloadBytes
+		sum.MeanUpdateMin += dr.UpdateMinutes
+		sum.MeanKps += dr.ThroughputKps
+		sum.MeanDedup += dr.DedupRatio
+		sum.Versions++
+	}
+	if sum.Versions > 0 {
+		sum.MeanUpdateMin /= float64(sum.Versions)
+		sum.MeanKps /= float64(sum.Versions)
+		sum.MeanDedup /= float64(sum.Versions)
+	}
+	sum.MissRatio = sys.Shipper.MissRatio()
+	return out, sum, nil
+}
+
+// MonthPair runs the with/without comparison of Fig. 10a.
+func MonthPair(cfg MonthConfig) (with, without MonthSummary, withDays, withoutDays []DayResult, err error) {
+	c := cfg
+	c.WithDirectLoad = true
+	withDays, with, err = RunMonth(c)
+	if err != nil {
+		return
+	}
+	c.WithDirectLoad = false
+	withoutDays, without, err = RunMonth(c)
+	return
+}
+
+// PairwiseSpeedup compares the two systems day by day on days where
+// neither run went through the slow repair path, returning the mean and
+// peak throughput improvement — the paper's "up to 5x" is the peak.
+func PairwiseSpeedup(withDays, withoutDays []DayResult) (mean, peak float64, cleanDays int) {
+	n := len(withDays)
+	if len(withoutDays) < n {
+		n = len(withoutDays)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		w, wo := withDays[i], withoutDays[i]
+		if w.Repairs > 0 || wo.Repairs > 0 || wo.ThroughputKps == 0 {
+			continue
+		}
+		s := w.ThroughputKps / wo.ThroughputKps
+		sum += s
+		if s > peak {
+			peak = s
+		}
+		cleanDays++
+	}
+	if cleanDays > 0 {
+		mean = sum / float64(cleanDays)
+	}
+	return mean, peak, cleanDays
+}

@@ -1,0 +1,698 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"directload/internal/blockfs"
+	"directload/internal/skiplist"
+)
+
+// Engine errors.
+var (
+	ErrNotFound = errors.New("lsm: not found")
+	ErrDeleted  = errors.New("lsm: deleted")
+	ErrClosed   = errors.New("lsm: closed")
+	ErrNoValue  = errors.New("lsm: dedup chain has no base value")
+)
+
+// Options mirror LevelDB's default configuration, which is what the paper
+// benchmarks against.
+type Options struct {
+	// MemtableSize is write_buffer_size: flush to L0 beyond this.
+	MemtableSize int64
+	// L0CompactionTrigger is the L0 file count that triggers compaction.
+	L0CompactionTrigger int
+	// L1MaxBytes is the size budget of L1; level i holds 10^(i-1) times
+	// more (LevelMultiplier).
+	L1MaxBytes      int64
+	LevelMultiplier int64
+	// TargetFileSize caps the SSTables produced by compaction.
+	TargetFileSize int64
+	// MaxLevels is the number of levels (LevelDB: 7, L0..L6).
+	MaxLevels int
+	// BlockCacheBytes bounds the LRU data-block cache (LevelDB default:
+	// 8 MB). Zero disables caching.
+	BlockCacheBytes int64
+	// Seed fixes the memtable skip-list randomness.
+	Seed int64
+}
+
+// DefaultOptions returns LevelDB 1.9's defaults.
+func DefaultOptions() Options {
+	return Options{
+		MemtableSize:        4 << 20,
+		L0CompactionTrigger: 4,
+		L1MaxBytes:          10 << 20,
+		LevelMultiplier:     10,
+		TargetFileSize:      2 << 20,
+		MaxLevels:           7,
+		BlockCacheBytes:     8 << 20,
+		Seed:                1,
+	}
+}
+
+// memval is the memtable payload.
+type memval struct {
+	kind  uint8
+	value []byte
+}
+
+// Stats aggregates engine counters.
+type Stats struct {
+	UserWriteBytes   int64 // application payload accepted by Put/Del
+	UserReadBytes    int64
+	Puts, Gets, Dels int64
+	Flushes          int64
+	Compactions      int64
+	CompactionRead   int64 // bytes read by compaction merges
+	CompactionWrite  int64 // bytes written by compaction merges
+	TablesPerLevel   []int
+	BytesPerLevel    []int64
+	DiskBytes        int64
+	CacheHits        int64
+	CacheMisses      int64
+}
+
+// DB is the LSM engine instance.
+type DB struct {
+	mu   sync.Mutex
+	fs   blockfs.FS
+	opts Options
+
+	mem     *skiplist.List[ikey, memval]
+	memSize int64
+	wal     blockfs.Writer
+	walNum  uint64
+
+	levels  [][]tableMeta // levels[0] ordered oldest..newest; 1+ by smallest
+	cache   *blockCache
+	readers map[uint64]*tableReader
+	nextNum uint64 // next file number (sst/wal/manifest share the space)
+	maniNum uint64 // current manifest file number (0 = none)
+
+	closed bool
+
+	userWriteBytes  int64
+	userReadBytes   int64
+	puts, gets      int64
+	dels            int64
+	flushes         int64
+	compactions     int64
+	compactionRead  int64
+	compactionWrite int64
+	compactPtr      []string // per-level round-robin compaction cursor
+}
+
+// Open creates or recovers an LSM DB over fs.
+func Open(fs blockfs.FS, opts Options) (*DB, error) {
+	if opts.MemtableSize == 0 {
+		opts = DefaultOptions()
+	}
+	if opts.MaxLevels < 2 {
+		return nil, errors.New("lsm: need at least 2 levels")
+	}
+	db := &DB{
+		fs:         fs,
+		opts:       opts,
+		mem:        skiplist.New[ikey, memval](ikeyCompare, opts.Seed),
+		levels:     make([][]tableMeta, opts.MaxLevels),
+		cache:      newBlockCache(opts.BlockCacheBytes),
+		readers:    make(map[uint64]*tableReader),
+		nextNum:    1,
+		compactPtr: make([]string, opts.MaxLevels),
+	}
+	if err := db.recover(); err != nil {
+		return nil, fmt.Errorf("lsm: recovery: %w", err)
+	}
+	if err := db.newWALLocked(); err != nil {
+		return nil, err
+	}
+	// Leave a manifest that references the new WAL so a crash right after
+	// Open cannot orphan it. If recovery replayed WAL entries into the
+	// memtable, flushing them re-persists the data (the old WAL is gone).
+	if db.mem.Len() > 0 {
+		if _, err := db.flushMemLocked(); err != nil {
+			return nil, err
+		}
+		if _, err := db.maybeCompactLocked(); err != nil {
+			return nil, err
+		}
+	} else if _, err := db.writeManifestLocked(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Close flushes the memtable and seals the engine.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	db.closed = true
+	if db.wal != nil {
+		db.wal.Close()
+		db.wal = nil
+	}
+	return nil
+}
+
+// --- WAL ---------------------------------------------------------------
+
+func walName(num uint64) string { return fmt.Sprintf("wal-%010d", num) }
+
+func (db *DB) newWALLocked() error {
+	num := db.nextNum
+	db.nextNum++
+	w, err := db.fs.Create(walName(num))
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	db.walNum = num
+	return nil
+}
+
+// walAppend frames one entry as crc | len | payload.
+func (db *DB) walAppendLocked(e entry) (time.Duration, error) {
+	payload := encodeEntry(nil, e)
+	frame := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+	frame = append(frame, payload...)
+	_, cost, err := db.wal.Append(frame)
+	return cost, err
+}
+
+// replayWAL feeds surviving WAL entries back into the memtable.
+func (db *DB) replayWAL(num uint64) error {
+	name := walName(num)
+	size, err := db.fs.Size(name)
+	if err != nil {
+		return err
+	}
+	r, err := db.fs.Open(name)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, _, err := r.ReadAt(buf, 0); err != nil {
+			return err
+		}
+	}
+	for p := int64(0); p+8 <= size; {
+		crc := binary.LittleEndian.Uint32(buf[p:])
+		n := int64(binary.LittleEndian.Uint32(buf[p+4:]))
+		if p+8+n > size {
+			break // torn tail: stop replay (normal crash semantics)
+		}
+		payload := buf[p+8 : p+8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		e, _, err := decodeEntry(payload)
+		if err != nil {
+			break
+		}
+		db.applyToMemLocked(e)
+		p += 8 + n
+	}
+	return nil
+}
+
+func (db *DB) applyToMemLocked(e entry) {
+	old, existed := db.mem.Get(e.ik)
+	db.mem.Set(e.ik, memval{kind: e.kind, value: e.value})
+	sz := int64(len(e.ik.key) + len(e.value) + 16)
+	if existed {
+		db.memSize -= int64(len(e.ik.key) + len(old.value) + 16)
+	}
+	db.memSize += sz
+}
+
+// --- Write path ----------------------------------------------------------
+
+// Put stores value under (key, version); dedup entries carry no value and
+// are resolved by traceback at read time (the LSM baseline has no stable
+// in-memory items to bind against).
+func (db *DB) Put(key []byte, version uint64, value []byte, dedup bool) (time.Duration, error) {
+	kind := kindValue
+	if dedup {
+		kind = kindDedup
+		value = nil
+	}
+	return db.write(entry{ik: ikey{string(key), version}, kind: kind, value: value}, int64(len(key)+len(value)))
+}
+
+// Del writes a tombstone for (key, version).
+func (db *DB) Del(key []byte, version uint64) (time.Duration, error) {
+	cost, err := db.write(entry{ik: ikey{string(key), version}, kind: kindTombstone}, int64(len(key)))
+	if err == nil {
+		db.mu.Lock()
+		db.dels++
+		db.puts-- // write() counted it as a put
+		db.mu.Unlock()
+	}
+	return cost, err
+}
+
+func (db *DB) write(e entry, userBytes int64) (time.Duration, error) {
+	if len(e.ik.key) == 0 {
+		return 0, errors.New("lsm: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	cost, err := db.walAppendLocked(e)
+	if err != nil {
+		return cost, err
+	}
+	db.applyToMemLocked(e)
+	db.userWriteBytes += userBytes
+	db.puts++
+	if db.memSize >= db.opts.MemtableSize {
+		c, err := db.flushMemLocked()
+		cost += c
+		if err != nil {
+			return cost, err
+		}
+		c, err = db.maybeCompactLocked()
+		cost += c
+		if err != nil {
+			return cost, err
+		}
+	}
+	return cost, nil
+}
+
+// flushMemLocked writes the memtable to a new L0 table and starts a fresh
+// WAL.
+func (db *DB) flushMemLocked() (time.Duration, error) {
+	if db.mem.Len() == 0 {
+		return 0, nil
+	}
+	num := db.nextNum
+	db.nextNum++
+	tw, err := newTableWriter(db.fs, num, 0)
+	if err != nil {
+		return 0, err
+	}
+	var addErr error
+	db.mem.AscendAll(func(k ikey, v memval) bool {
+		if addErr = tw.add(entry{ik: k, kind: v.kind, value: v.value}); addErr != nil {
+			return false
+		}
+		return true
+	})
+	if addErr != nil {
+		tw.abandon()
+		return tw.cost, addErr
+	}
+	meta, cost, err := tw.finish()
+	if err != nil {
+		tw.abandon()
+		return cost, err
+	}
+	db.levels[0] = append(db.levels[0], meta)
+	db.flushes++
+	db.mem = skiplist.New[ikey, memval](ikeyCompare, db.opts.Seed+int64(num))
+	db.memSize = 0
+	// Retire the old WAL; its contents are now durable in the table.
+	oldWAL := db.walNum
+	db.wal.Close()
+	if err := db.newWALLocked(); err != nil {
+		return cost, err
+	}
+	if _, err := db.fs.Remove(walName(oldWAL)); err != nil {
+		return cost, err
+	}
+	c, err := db.writeManifestLocked()
+	cost += c
+	return cost, err
+}
+
+// Flush forces the memtable to L0 (used by benchmarks to settle state).
+func (db *DB) Flush() (time.Duration, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	cost, err := db.flushMemLocked()
+	if err != nil {
+		return cost, err
+	}
+	c, err := db.maybeCompactLocked()
+	return cost + c, err
+}
+
+// --- Manifest ------------------------------------------------------------
+
+func manifestName(num uint64) string { return fmt.Sprintf("manifest-%010d", num) }
+
+// writeManifestLocked persists the level layout.
+func (db *DB) writeManifestLocked() (time.Duration, error) {
+	num := db.nextNum
+	db.nextNum++
+	var body []byte
+	put32 := func(v uint32) { body = binary.LittleEndian.AppendUint32(body, v) }
+	put64 := func(v uint64) { body = binary.LittleEndian.AppendUint64(body, v) }
+	putIK := func(ik ikey) {
+		put32(uint32(len(ik.key)))
+		body = append(body, ik.key...)
+		put64(ik.ver)
+	}
+	put64(db.nextNum)
+	put64(db.walNum)
+	put32(uint32(len(db.levels)))
+	for _, tables := range db.levels {
+		put32(uint32(len(tables)))
+		for _, m := range tables {
+			put64(m.num)
+			put64(uint64(m.size))
+			put32(uint32(m.entries))
+			putIK(m.smallest)
+			putIK(m.largest)
+		}
+	}
+	w, err := db.fs.Create(manifestName(num))
+	if err != nil {
+		return 0, err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.ChecksumIEEE(body))
+	_, cost, err := w.Append(body)
+	if err == nil {
+		var c time.Duration
+		_, c, err = w.Append(crcBuf[:])
+		cost += c
+	}
+	if err != nil {
+		w.Close()
+		return cost, err
+	}
+	c, err := w.Close()
+	cost += c
+	if err != nil {
+		return cost, err
+	}
+	old := db.maniNum
+	db.maniNum = num
+	if old != 0 {
+		if c, err := db.fs.Remove(manifestName(old)); err == nil {
+			cost += c
+		}
+	}
+	return cost, nil
+}
+
+// loadManifest restores the level layout; ok=false means no usable
+// manifest (fresh DB or corrupt file).
+func (db *DB) loadManifest() bool {
+	var best string
+	var bestNum uint64
+	for _, n := range db.fs.List() {
+		var num uint64
+		if _, err := fmt.Sscanf(n, "manifest-%010d", &num); err == nil && num > bestNum {
+			best, bestNum = n, num
+		}
+	}
+	if best == "" {
+		return false
+	}
+	size, err := db.fs.Size(best)
+	if err != nil || size < 4 {
+		return false
+	}
+	r, err := db.fs.Open(best)
+	if err != nil {
+		return false
+	}
+	buf := make([]byte, size)
+	if _, _, err := r.ReadAt(buf, 0); err != nil {
+		return false
+	}
+	body := buf[:size-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(buf[size-4:]) {
+		return false
+	}
+	p := 0
+	ok := true
+	need := func(n int) bool {
+		if p+n > len(body) {
+			ok = false
+			return false
+		}
+		return true
+	}
+	get32 := func() uint32 {
+		if !need(4) {
+			return 0
+		}
+		v := binary.LittleEndian.Uint32(body[p:])
+		p += 4
+		return v
+	}
+	get64 := func() uint64 {
+		if !need(8) {
+			return 0
+		}
+		v := binary.LittleEndian.Uint64(body[p:])
+		p += 8
+		return v
+	}
+	getIK := func() ikey {
+		klen := int(get32())
+		if !need(klen) {
+			return ikey{}
+		}
+		k := string(body[p : p+klen])
+		p += klen
+		return ikey{key: k, ver: get64()}
+	}
+	nextNum := get64()
+	walNum := get64()
+	nLevels := int(get32())
+	if !ok || nLevels <= 0 || nLevels > 16 {
+		return false
+	}
+	levels := make([][]tableMeta, db.opts.MaxLevels)
+	for l := 0; l < nLevels; l++ {
+		n := int(get32())
+		for i := 0; i < n && ok; i++ {
+			m := tableMeta{level: l}
+			m.num = get64()
+			m.size = int64(get64())
+			m.entries = int(get32())
+			m.smallest = getIK()
+			m.largest = getIK()
+			if l < len(levels) {
+				levels[l] = append(levels[l], m)
+			}
+		}
+	}
+	if !ok {
+		return false
+	}
+	db.levels = levels
+	db.nextNum = nextNum
+	db.walNum = walNum
+	db.maniNum = bestNum
+	return true
+}
+
+// recover loads the manifest and replays any surviving WAL.
+func (db *DB) recover() error {
+	if !db.loadManifest() {
+		// Fresh database (or unusable manifest): nothing to restore. Any
+		// stray files from a partial crash are removed.
+		for _, n := range db.fs.List() {
+			db.fs.Remove(n)
+		}
+		return nil
+	}
+	// Replay the WAL the manifest points at, if it survived.
+	if db.walNum != 0 {
+		if _, err := db.fs.Size(walName(db.walNum)); err == nil {
+			if err := db.replayWAL(db.walNum); err != nil {
+				return err
+			}
+			db.fs.Remove(walName(db.walNum))
+		}
+	}
+	db.wal = nil // Open() will create a fresh WAL
+	// Drop orphan files not referenced by the manifest.
+	live := map[string]bool{manifestName(db.maniNum): true}
+	for _, tables := range db.levels {
+		for _, m := range tables {
+			live[tableName(m.num)] = true
+		}
+	}
+	for _, n := range db.fs.List() {
+		if !live[n] {
+			db.fs.Remove(n)
+		}
+	}
+	return nil
+}
+
+// --- Read path -----------------------------------------------------------
+
+func (db *DB) reader(m tableMeta) (*tableReader, time.Duration, error) {
+	if tr, ok := db.readers[m.num]; ok {
+		return tr, 0, nil
+	}
+	tr, cost, err := openTable(db.fs, m)
+	if err != nil {
+		return nil, cost, err
+	}
+	tr.cache = db.cache
+	db.readers[m.num] = tr
+	return tr, cost, nil
+}
+
+// Get returns the value at (key, version), tracing deduplicated entries
+// back to the first older version holding a value.
+func (db *DB) Get(key []byte, version uint64) ([]byte, time.Duration, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, 0, ErrClosed
+	}
+	var total time.Duration
+	value, kind, found, cost, err := db.findLocked(ikey{string(key), version})
+	total += cost
+	if err != nil {
+		return nil, total, err
+	}
+	if !found {
+		return nil, total, fmt.Errorf("%w: %q/%d", ErrNotFound, key, version)
+	}
+	switch kind {
+	case kindTombstone:
+		return nil, total, fmt.Errorf("%w: %q/%d", ErrDeleted, key, version)
+	case kindValue:
+		db.gets++
+		db.userReadBytes += int64(len(value))
+		return value, total, nil
+	}
+	// Dedup: walk older versions until a real value appears.
+	it, cost, err := db.mergedIterLocked(ikey{string(key), version - 1})
+	total += cost
+	if err != nil {
+		return nil, total, err
+	}
+	for it.valid() {
+		e := it.cur()
+		if e.ik.key != string(key) {
+			break
+		}
+		if e.kind == kindValue {
+			db.gets++
+			db.userReadBytes += int64(len(e.value))
+			total += it.cost()
+			return e.value, total, nil
+		}
+		it.next()
+	}
+	total += it.cost()
+	return nil, total, fmt.Errorf("%w: %q/%d", ErrNoValue, key, version)
+}
+
+// findLocked searches memtable then levels for the exact composite key.
+func (db *DB) findLocked(ik ikey) ([]byte, uint8, bool, time.Duration, error) {
+	if v, ok := db.mem.Get(ik); ok {
+		return v.value, v.kind, true, 0, nil
+	}
+	var total time.Duration
+	// L0: newest file first (files may overlap).
+	for i := len(db.levels[0]) - 1; i >= 0; i-- {
+		m := db.levels[0][i]
+		if ik.key < m.smallest.key || ik.key > m.largest.key {
+			continue
+		}
+		tr, cost, err := db.reader(m)
+		total += cost
+		if err != nil {
+			return nil, 0, false, total, err
+		}
+		v, kind, found, cost, err := tr.get(ik)
+		total += cost
+		if err != nil || found {
+			return v, kind, found, total, err
+		}
+	}
+	// L1+: at most one file per level can contain the key.
+	for l := 1; l < len(db.levels); l++ {
+		tables := db.levels[l]
+		idx := sort.Search(len(tables), func(i int) bool {
+			return tables[i].largest.key >= ik.key
+		})
+		if idx >= len(tables) || ik.key < tables[idx].smallest.key {
+			continue
+		}
+		tr, cost, err := db.reader(tables[idx])
+		total += cost
+		if err != nil {
+			return nil, 0, false, total, err
+		}
+		v, kind, found, cost, err := tr.get(ik)
+		total += cost
+		if err != nil || found {
+			return v, kind, found, total, err
+		}
+	}
+	return nil, 0, false, total, nil
+}
+
+// Has reports whether (key, version) resolves to a live entry.
+func (db *DB) Has(key []byte, version uint64) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false
+	}
+	_, kind, found, _, err := db.findLocked(ikey{string(key), version})
+	return err == nil && found && kind != kindTombstone
+}
+
+// Stats returns engine counters plus the level shape.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := Stats{
+		UserWriteBytes:  db.userWriteBytes,
+		UserReadBytes:   db.userReadBytes,
+		Puts:            db.puts,
+		Gets:            db.gets,
+		Dels:            db.dels,
+		Flushes:         db.flushes,
+		Compactions:     db.compactions,
+		CompactionRead:  db.compactionRead,
+		CompactionWrite: db.compactionWrite,
+		DiskBytes:       db.fs.UsedBytes(),
+	}
+	s.CacheHits, s.CacheMisses = db.cache.stats()
+	for _, tables := range db.levels {
+		s.TablesPerLevel = append(s.TablesPerLevel, len(tables))
+		var b int64
+		for _, m := range tables {
+			b += m.size
+		}
+		s.BytesPerLevel = append(s.BytesPerLevel, b)
+	}
+	return s
+}
+
+var maxIkeyVer = uint64(math.MaxUint64)

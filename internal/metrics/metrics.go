@@ -1,0 +1,339 @@
+// Package metrics provides the measurement primitives used throughout the
+// DirectLoad reproduction: monotonic counters, latency histograms with
+// tail-percentile queries, windowed throughput series, and simple summary
+// statistics. Everything is safe for concurrent use unless noted otherwise.
+//
+// The experiments in the paper report throughput in MB/s over one-minute
+// windows (Figs. 5-7), latency percentiles in microseconds (Fig. 8), and
+// day-granularity series (Figs. 9-10); the types here are shaped around
+// exactly those reports.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Negative n is ignored: counters are
+// monotonic by contract.
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.v.Swap(0) }
+
+// Gauge is a 64-bit value that may go up and down (e.g. live bytes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add adjusts the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Histogram records observations and answers percentile queries. It keeps
+// exact values up to a bounded reservoir size; once full it switches to
+// uniform reservoir sampling, which is plenty for p99/p99.9 on the run
+// lengths used in the experiments.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	limit   int
+	rng     uint64 // xorshift state for reservoir sampling
+	sorted  bool
+}
+
+// NewHistogram returns a histogram with the given reservoir capacity.
+// A capacity of 0 selects the default of 262144 samples.
+func NewHistogram(capacity int) *Histogram {
+	if capacity <= 0 {
+		capacity = 1 << 18
+	}
+	return &Histogram{
+		limit: capacity,
+		min:   math.Inf(1),
+		max:   math.Inf(-1),
+		rng:   0x9E3779B97F4A7C15,
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.sorted = false
+	if len(h.samples) < h.limit {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Vitter's algorithm R: replace a random existing sample with
+	// probability limit/count.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if idx := h.rng % uint64(h.count); idx < uint64(h.limit) {
+		h.samples[idx] = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all observations, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) over the sampled
+// observations using nearest-rank interpolation. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	pos := q * float64(len(h.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+}
+
+// Snapshot bundles the latency statistics the paper reports in Fig. 8.
+type Snapshot struct {
+	Count int64
+	Mean  float64
+	P50   float64
+	P99   float64
+	P999  float64
+	Max   float64
+}
+
+// Snapshot returns the current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the snapshot in the style used by EXPERIMENTS.md.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.0f p99=%.0f p99.9=%.0f max=%.0f",
+		s.Count, s.Mean, s.P99, s.P999, s.Max)
+}
+
+// Series is an append-only (x, y) time series, used for the
+// throughput-over-time and occupation-over-time figures.
+type Series struct {
+	mu sync.Mutex
+	xs []float64
+	ys []float64
+}
+
+// Append records one point.
+func (s *Series) Append(x, y float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.xs)
+}
+
+// Points returns copies of the x and y slices.
+func (s *Series) Points() (xs, ys []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	xs = append([]float64(nil), s.xs...)
+	ys = append([]float64(nil), s.ys...)
+	return xs, ys
+}
+
+// YStats returns mean, standard deviation, min and max of the y values.
+// The standard deviation is the population form, matching the paper's
+// "standard deviation of User Write throughput" metric in Fig. 6.
+func (s *Series) YStats() (mean, stddev, min, max float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return summarize(s.ys)
+}
+
+func summarize(ys []float64) (mean, stddev, min, max float64) {
+	if len(ys) == 0 {
+		return 0, 0, 0, 0
+	}
+	min, max = math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, y := range ys {
+		sum += y
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	mean = sum / float64(len(ys))
+	var varsum float64
+	for _, y := range ys {
+		d := y - mean
+		varsum += d * d
+	}
+	stddev = math.Sqrt(varsum / float64(len(ys)))
+	return mean, stddev, min, max
+}
+
+// Mean computes the arithmetic mean of vs (0 for empty input).
+func Mean(vs []float64) float64 {
+	m, _, _, _ := summarize(vs)
+	return m
+}
+
+// StdDev computes the population standard deviation of vs.
+func StdDev(vs []float64) float64 {
+	_, sd, _, _ := summarize(vs)
+	return sd
+}
+
+// ThroughputWindow accumulates byte counts and emits one MB/s sample per
+// fixed window of simulated (or real) time. It reproduces the per-minute
+// sampling the paper uses for Figs. 5 and 6.
+type ThroughputWindow struct {
+	mu       sync.Mutex
+	window   time.Duration
+	start    time.Duration // current window start on the supplied clock
+	bytes    int64
+	series   *Series
+	anchored bool
+}
+
+// NewThroughputWindow creates a windowed throughput recorder emitting into
+// series; window must be positive.
+func NewThroughputWindow(window time.Duration, series *Series) *ThroughputWindow {
+	if window <= 0 {
+		panic("metrics: non-positive throughput window")
+	}
+	return &ThroughputWindow{window: window, series: series}
+}
+
+// Record adds n bytes at time now (any monotonically non-decreasing clock,
+// e.g. the SSD simulator's virtual clock). Whenever now crosses a window
+// boundary, one sample per fully elapsed window is appended to the series
+// as (windowEndMinutes, MB/s).
+func (t *ThroughputWindow) Record(now time.Duration, n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.anchored {
+		t.start = now
+		t.anchored = true
+	}
+	for now-t.start >= t.window {
+		t.flushLocked()
+	}
+	t.bytes += n
+}
+
+// Flush emits the current partial window if it holds any bytes.
+func (t *ThroughputWindow) Flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.bytes > 0 {
+		t.flushLocked()
+	}
+}
+
+func (t *ThroughputWindow) flushLocked() {
+	end := t.start + t.window
+	mbps := float64(t.bytes) / (1 << 20) / t.window.Seconds()
+	t.series.Append(end.Minutes(), mbps)
+	t.start = end
+	t.bytes = 0
+}

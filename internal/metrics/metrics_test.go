@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load() = %d, want 42", got)
+	}
+	c.Add(-5) // ignored: monotonic
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load() after negative Add = %d, want 42", got)
+	}
+	if got := c.Reset(); got != 42 {
+		t.Fatalf("Reset() = %d, want 42", got)
+	}
+	if got := c.Load(); got != 0 {
+		t.Fatalf("Load() after Reset = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8000 {
+		t.Fatalf("Load() = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load() = %d, want 7", got)
+	}
+}
+
+func TestHistogramExactQuantiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count() = %d, want 100", got)
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("Mean() = %v, want 50.5", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Fatalf("Min() = %v, want 1", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("Max() = %v, want 100", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("Quantile(1) = %v, want 100", got)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Quantile(0.5) = %v, want 50.5", got)
+	}
+	if got := h.Quantile(0.99); got < 99 || got > 100 {
+		t.Fatalf("Quantile(0.99) = %v, want in [99, 100]", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(16)
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	snap := h.Snapshot()
+	if snap.Count != 0 {
+		t.Fatalf("Snapshot().Count = %d, want 0", snap.Count)
+	}
+}
+
+func TestHistogramReservoirSampling(t *testing.T) {
+	// With a tiny reservoir the histogram must still track count/mean
+	// exactly and keep quantiles within the observed range.
+	h := NewHistogram(64)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i % 1000))
+	}
+	if got := h.Count(); got != 10000 {
+		t.Fatalf("Count() = %d, want 10000", got)
+	}
+	q := h.Quantile(0.5)
+	if q < 0 || q > 999 {
+		t.Fatalf("Quantile(0.5) = %v, want within [0, 999]", q)
+	}
+	// The underlying data is uniform over [0,1000); the sampled median
+	// should land broadly in the middle.
+	if q < 200 || q > 800 {
+		t.Fatalf("Quantile(0.5) = %v, implausible for uniform data", q)
+	}
+}
+
+func TestHistogramSnapshotOrdering(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 0; i < 5000; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if !(s.P50 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+		t.Fatalf("quantiles out of order: %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("String() should be non-empty")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Append(2, 20)
+	s.Append(3, 30)
+	if s.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", s.Len())
+	}
+	xs, ys := s.Points()
+	if len(xs) != 3 || xs[2] != 3 || ys[2] != 30 {
+		t.Fatalf("Points() = %v, %v", xs, ys)
+	}
+	mean, sd, min, max := s.YStats()
+	if mean != 20 || min != 10 || max != 30 {
+		t.Fatalf("YStats mean=%v min=%v max=%v", mean, min, max)
+	}
+	want := math.Sqrt(200.0 / 3.0)
+	if math.Abs(sd-want) > 1e-9 {
+		t.Fatalf("stddev = %v, want %v", sd, want)
+	}
+}
+
+func TestSeriesPointsAreCopies(t *testing.T) {
+	var s Series
+	s.Append(1, 1)
+	xs, _ := s.Points()
+	xs[0] = 99
+	xs2, _ := s.Points()
+	if xs2[0] != 1 {
+		t.Fatal("Points() must return copies")
+	}
+}
+
+func TestMeanStdDevHelpers(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty input should yield 0")
+	}
+	vs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(vs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(vs); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestThroughputWindow(t *testing.T) {
+	var s Series
+	w := NewThroughputWindow(time.Minute, &s)
+	// 1 MiB in the first minute, 2 MiB in the second.
+	w.Record(0, 1<<20)
+	w.Record(30*time.Second, 0)
+	w.Record(time.Minute, 2<<20) // crosses boundary, flushes window 1
+	w.Record(2*time.Minute, 0)   // flushes window 2
+	xs, ys := s.Points()
+	if len(xs) != 2 {
+		t.Fatalf("series len = %d, want 2 (%v/%v)", len(xs), xs, ys)
+	}
+	if math.Abs(ys[0]-1.0/60.0) > 1e-9 {
+		t.Fatalf("window1 MB/s = %v, want %v", ys[0], 1.0/60.0)
+	}
+	if math.Abs(ys[1]-2.0/60.0) > 1e-9 {
+		t.Fatalf("window2 MB/s = %v, want %v", ys[1], 2.0/60.0)
+	}
+	if xs[0] != 1 || xs[1] != 2 {
+		t.Fatalf("window end minutes = %v, want [1 2]", xs)
+	}
+}
+
+func TestThroughputWindowFlushPartial(t *testing.T) {
+	var s Series
+	w := NewThroughputWindow(time.Minute, &s)
+	w.Record(0, 6<<20)
+	w.Flush()
+	_, ys := s.Points()
+	if len(ys) != 1 {
+		t.Fatalf("series len = %d, want 1", len(ys))
+	}
+	if math.Abs(ys[0]-0.1) > 1e-9 { // 6 MiB over a 60 s window
+		t.Fatalf("MB/s = %v, want 0.1", ys[0])
+	}
+}
+
+func TestThroughputWindowGap(t *testing.T) {
+	// A long quiet gap must emit zero-valued windows, not one huge window.
+	var s Series
+	w := NewThroughputWindow(time.Minute, &s)
+	w.Record(0, 1<<20)
+	w.Record(5*time.Minute, 1<<20)
+	xs, ys := s.Points()
+	if len(xs) != 5 {
+		t.Fatalf("series len = %d, want 5", len(xs))
+	}
+	for i := 1; i < 5; i++ {
+		if ys[i] != 0 {
+			t.Fatalf("gap window %d throughput = %v, want 0", i, ys[i])
+		}
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		h := NewHistogram(0)
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+		}
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,357 @@
+package mint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"directload/internal/aof"
+	"directload/internal/core"
+)
+
+func testConfig() Config {
+	return Config{
+		Groups:        3,
+		NodesPerGroup: 4,
+		Replicas:      3,
+		NodeCapacity:  64 << 20,
+		Engine: core.Options{
+			AOF:  aof.Config{FileSize: 1 << 20, GCThreshold: 0.25},
+			Seed: 1,
+		},
+	}
+}
+
+func newTestCluster(t *testing.T) *Cluster {
+	t.Helper()
+	c, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Groups: 0}); err == nil {
+		t.Fatal("zero groups should fail")
+	}
+	if _, err := New(Config{Groups: 1, NodesPerGroup: 2, Replicas: 3}); err == nil {
+		t.Fatal("fewer nodes than replicas should fail")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("url/%04d", i))
+		if _, err := c.Put(key, 1, []byte(fmt.Sprintf("val-%d", i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		key := []byte(fmt.Sprintf("url/%04d", i))
+		val, _, err := c.Get(key, 1)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		if string(val) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("Get(%s) = %q", key, val)
+		}
+	}
+}
+
+func TestReplication3x(t *testing.T) {
+	c := newTestCluster(t)
+	key := []byte("replicated-key")
+	if _, err := c.Put(key, 1, []byte("v"), false); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly Replicas nodes of the key's group hold the pair.
+	holders := 0
+	for _, g := range c.groups {
+		for _, n := range g.Nodes {
+			if n.db.Has(key, 1) {
+				holders++
+				if g.ID != c.hashKey(key) {
+					t.Fatal("replica outside the key's group")
+				}
+			}
+		}
+	}
+	if holders != 3 {
+		t.Fatalf("replicas = %d, want 3 (paper: three replicates)", holders)
+	}
+}
+
+func TestGroupPlacementStable(t *testing.T) {
+	c := newTestCluster(t)
+	key := []byte("stable-key")
+	before := c.hashKey(key)
+	// Adding nodes to any group must not change group placement.
+	if _, err := c.AddNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNode(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.hashKey(key) != before {
+		t.Fatal("group placement changed after adding nodes")
+	}
+}
+
+func TestReadAfterNodeAddition(t *testing.T) {
+	// The no-redistribution property: data written before a group grows
+	// is still readable afterwards.
+	c := newTestCluster(t)
+	keys := make([][]byte, 200)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key/%05d", i))
+		if _, err := c.Put(keys[i], 1, []byte("before-grow"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for g := 0; g < c.Groups(); g++ {
+		if _, err := c.AddNode(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range keys {
+		val, _, err := c.Get(key, 1)
+		if err != nil || string(val) != "before-grow" {
+			t.Fatalf("Get(%s) after growth: %q, %v", key, val, err)
+		}
+	}
+}
+
+func TestFailureMasking(t *testing.T) {
+	c := newTestCluster(t)
+	key := []byte("ha-key")
+	c.Put(key, 1, []byte("v"), false)
+	// Fail one replica: reads keep working.
+	replicas := c.replicasFor(key, c.GroupFor(key))
+	if err := c.FailNode(replicas[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if val, _, err := c.Get(key, 1); err != nil || string(val) != "v" {
+		t.Fatalf("Get with 1 failed replica: %q, %v", val, err)
+	}
+	// Fail a second: still one live replica.
+	c.FailNode(replicas[1].ID)
+	if _, _, err := c.Get(key, 1); err != nil {
+		t.Fatalf("Get with 2 failed replicas: %v", err)
+	}
+	// Writes now miss quorum (2 of 3 replicas down).
+	if _, err := c.Put(key, 2, []byte("v2"), false); !errors.Is(err, ErrQuorum) {
+		t.Fatalf("Put should fail quorum, got %v", err)
+	}
+}
+
+func TestRecoverNodeRebuildsFromFlash(t *testing.T) {
+	c := newTestCluster(t)
+	key := []byte("durable-key")
+	c.Put(key, 1, []byte("survives-crash"), false)
+	replicas := c.replicasFor(key, c.GroupFor(key))
+	victim := replicas[0]
+	c.FailNode(victim.ID)
+	scan, err := c.RecoverNode(victim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan <= 0 {
+		t.Fatal("recovery scan time should be positive")
+	}
+	if victim.Down() {
+		t.Fatal("node should be live after recovery")
+	}
+	// The recovered engine holds the key again.
+	if !victim.DB().Has(key, 1) {
+		t.Fatal("recovered node lost the key")
+	}
+	// Recovering a live node is a no-op.
+	if d, err := c.RecoverNode(victim.ID); err != nil || d != 0 {
+		t.Fatalf("no-op recovery = %v, %v", d, err)
+	}
+}
+
+func TestParallelReadHidesRecovery(t *testing.T) {
+	// With one replica failed, Get cost is the min over the live ones;
+	// latency must not blow up.
+	c := newTestCluster(t)
+	key := []byte("latency-key")
+	c.Put(key, 1, make([]byte, 20<<10), false)
+	_, healthy, err := c.Get(key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicas := c.replicasFor(key, c.GroupFor(key))
+	c.FailNode(replicas[0].ID)
+	_, degraded, err := c.Get(key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded > healthy*2 {
+		t.Fatalf("degraded read cost %v vs healthy %v: replication not hiding failure", degraded, healthy)
+	}
+}
+
+func TestDelAndDropVersion(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 30; i++ {
+		key := []byte(fmt.Sprintf("k/%03d", i))
+		c.Put(key, 1, []byte("v1"), false)
+		c.Put(key, 2, []byte("v2"), false)
+	}
+	if _, err := c.Del([]byte("k/000"), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get([]byte("k/000"), 2); err == nil {
+		t.Fatal("deleted key readable")
+	}
+	n, _, err := c.DropVersion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("DropVersion dropped nothing")
+	}
+	if _, _, err := c.Get([]byte("k/011"), 1); err == nil {
+		t.Fatal("dropped version readable")
+	}
+	if _, _, err := c.Get([]byte("k/011"), 2); err != nil {
+		t.Fatalf("v2 lost: %v", err)
+	}
+}
+
+func TestDedupAcrossCluster(t *testing.T) {
+	c := newTestCluster(t)
+	key := []byte("dedup/key")
+	val := bytes.Repeat([]byte{7}, 4096)
+	c.Put(key, 1, val, false)
+	c.Put(key, 2, nil, true) // deduplicated: value lives at v1
+	got, _, err := c.Get(key, 2)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("dedup Get via cluster = %d bytes, %v", len(got), err)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	c := newTestCluster(t)
+	ids := c.Nodes()
+	if len(ids) != 12 {
+		t.Fatalf("nodes = %d", len(ids))
+	}
+	if err := c.RemoveNode(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveNode(ids[0]); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("double remove err = %v", err)
+	}
+	if len(c.Nodes()) != 11 {
+		t.Fatalf("nodes after remove = %d", len(c.Nodes()))
+	}
+}
+
+func TestUnknownNodeOps(t *testing.T) {
+	c := newTestCluster(t)
+	if err := c.FailNode("nope"); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("FailNode err = %v", err)
+	}
+	if _, err := c.RecoverNode("nope"); !errors.Is(err, ErrNodeUnknown) {
+		t.Fatalf("RecoverNode err = %v", err)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	c := newTestCluster(t)
+	for i := 0; i < 50; i++ {
+		c.Put([]byte(fmt.Sprintf("s/%03d", i)), 1, make([]byte, 1024), false)
+	}
+	s := c.Stats()
+	if s.Nodes != 12 || s.DownNodes != 0 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.Keys != 150 { // 50 keys x 3 replicas
+		t.Fatalf("Keys = %d, want 150", s.Keys)
+	}
+	if s.UserWriteBytes == 0 || s.DiskBytes == 0 {
+		t.Fatalf("byte counters empty: %+v", s)
+	}
+	c.FailNode(c.Nodes()[0])
+	if c.Stats().DownNodes != 1 {
+		t.Fatal("DownNodes not tracked")
+	}
+}
+
+func TestAddNodeBadGroup(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.AddNode(-1); err == nil {
+		t.Fatal("negative group should fail")
+	}
+	if _, err := c.AddNode(99); err == nil {
+		t.Fatal("out-of-range group should fail")
+	}
+}
+
+func TestFactoryErrorPropagates(t *testing.T) {
+	boom := fmt.Errorf("factory exploded")
+	_, err := New(Config{
+		Groups: 1, NodesPerGroup: 3, Replicas: 3,
+		Factory: func(capacity, seed int64) (*EngineStack, error) { return nil, boom },
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want factory error", err)
+	}
+}
+
+func TestDelOnMissingKey(t *testing.T) {
+	c := newTestCluster(t)
+	if _, err := c.Del([]byte("never-written"), 1); err == nil {
+		t.Fatal("Del of missing key should fail")
+	}
+}
+
+func TestGetAllReplicasDown(t *testing.T) {
+	c := newTestCluster(t)
+	key := []byte("doomed")
+	c.Put(key, 1, []byte("v"), false)
+	for _, id := range c.Nodes() {
+		c.FailNode(id)
+	}
+	if _, _, err := c.Get(key, 1); err == nil {
+		t.Fatal("Get with every node down should fail")
+	}
+	if c.Stats().DownNodes != 12 {
+		t.Fatalf("DownNodes = %d", c.Stats().DownNodes)
+	}
+}
+
+func TestWriteQuorumConfigurable(t *testing.T) {
+	cfg := testConfig()
+	cfg.WriteQuorum = 3 // all replicas must ack
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	key := []byte("strict")
+	if _, err := c.Put(key, 1, []byte("v"), false); err != nil {
+		t.Fatal(err)
+	}
+	// One replica down: strict quorum now unreachable for its keys.
+	replicas := c.replicasFor(key, c.GroupFor(key))
+	c.FailNode(replicas[0].ID)
+	if _, err := c.Put(key, 2, []byte("v2"), false); !errors.Is(err, ErrQuorum) {
+		t.Fatalf("err = %v, want ErrQuorum at WriteQuorum=3", err)
+	}
+}
+
+func TestGroupForStability(t *testing.T) {
+	c := newTestCluster(t)
+	g1 := c.GroupFor([]byte("stable"))
+	g2 := c.GroupFor([]byte("stable"))
+	if g1 != g2 {
+		t.Fatal("GroupFor must be deterministic")
+	}
+}

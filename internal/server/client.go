@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client errors mirror the engine's sentinels across the wire.
+var (
+	ErrNotFound = errors.New("qindb client: not found")
+	ErrDeleted  = errors.New("qindb client: deleted")
+)
+
+// Client is a synchronous QinDB client over one TCP connection. It is
+// safe for concurrent use; requests are serialized on the connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a QinDB server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and decodes the response.
+func (c *Client) roundTrip(req request) (uint8, []byte, error) {
+	body, err := encodeRequest(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, body); err != nil {
+		return 0, nil, err
+	}
+	frame, err := readFrame(c.conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	return decodeResponse(frame)
+}
+
+// statusErr maps a non-OK status to a sentinel error.
+func statusErr(status uint8, payload []byte) error {
+	switch status {
+	case StatusOK:
+		return nil
+	case StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, payload)
+	case StatusDeleted:
+		return fmt.Errorf("%w: %s", ErrDeleted, payload)
+	default:
+		return fmt.Errorf("qindb client: server error: %s", payload)
+	}
+}
+
+// Put stores value under (key, version); dedup marks a value-stripped
+// entry whose payload lives in an older version.
+func (c *Client) Put(key []byte, version uint64, value []byte, dedup bool) error {
+	op := OpPut
+	if dedup {
+		op = OpPutDedup
+	}
+	status, payload, err := c.roundTrip(request{Op: op, Version: version, Key: key, Value: value})
+	if err != nil {
+		return err
+	}
+	return statusErr(status, payload)
+}
+
+// Get fetches the value at (key, version), following dedup traceback
+// server-side.
+func (c *Client) Get(key []byte, version uint64) ([]byte, error) {
+	status, payload, err := c.roundTrip(request{Op: OpGet, Version: version, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// Del marks (key, version) deleted.
+func (c *Client) Del(key []byte, version uint64) error {
+	status, payload, err := c.roundTrip(request{Op: OpDel, Version: version, Key: key})
+	if err != nil {
+		return err
+	}
+	return statusErr(status, payload)
+}
+
+// DropVersion retires a whole data version.
+func (c *Client) DropVersion(version uint64) error {
+	status, payload, err := c.roundTrip(request{Op: OpDropVersion, Version: version})
+	if err != nil {
+		return err
+	}
+	return statusErr(status, payload)
+}
+
+// Has reports whether (key, version) exists and is live.
+func (c *Client) Has(key []byte, version uint64) (bool, error) {
+	status, payload, err := c.roundTrip(request{Op: OpHas, Version: version, Key: key})
+	if err != nil {
+		return false, err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return false, err
+	}
+	return len(payload) == 1 && payload[0] == 1, nil
+}
+
+// Range lists up to limit newest-live (key, version) pairs in [from, to).
+func (c *Client) Range(from, to []byte, limit int) ([]RangeEntry, error) {
+	status, payload, err := c.roundTrip(request{
+		Op: OpRange, Version: uint64(limit), Key: from, Value: to,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return nil, err
+	}
+	return decodeRangeEntries(payload)
+}
+
+// Stats fetches engine statistics.
+func (c *Client) Stats() (StatsReply, error) {
+	var out StatsReply
+	status, payload, err := c.roundTrip(request{Op: OpStats})
+	if err != nil {
+		return out, err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(payload, &out)
+	return out, err
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	status, payload, err := c.roundTrip(request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return err
+	}
+	if string(payload) != "pong" {
+		return fmt.Errorf("qindb client: unexpected ping reply %q", payload)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+// Package server exposes a QinDB engine over TCP with a compact binary
+// protocol, plus a matching client — the network face a storage node in
+// a Mint group presents inside a data center. The protocol is
+// deliberately minimal (the paper's front-ends speak an internal RPC):
+// length-prefixed request/response frames carrying the mutated
+// GET/PUT/DEL operations of paper Fig. 2.
+//
+// Frame layout (all integers little-endian):
+//
+//	request:  len u32 | op u8 | version u64 | keyLen u16 | key | valLen u32 | value
+//	response: len u32 | status u8 | payloadLen u32 | payload
+//
+// For OpStats the payload is a JSON-encoded StatsReply. For OpRange the
+// request value holds the exclusive upper bound key and the response
+// payload packs keyLen u16 | key | version u64 triples.
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol ops.
+const (
+	OpPut uint8 = iota + 1
+	OpPutDedup
+	OpGet
+	OpDel
+	OpDropVersion
+	OpHas
+	OpStats
+	OpRange
+	OpPing
+)
+
+// Response statuses.
+const (
+	StatusOK uint8 = iota
+	StatusNotFound
+	StatusDeleted
+	StatusError
+)
+
+// Protocol limits: a request may carry one key and one value.
+const (
+	MaxKeyLen   = 1 << 16
+	MaxValueLen = 64 << 20
+	maxFrame    = MaxValueLen + MaxKeyLen + 64
+)
+
+// Protocol errors.
+var (
+	ErrFrameTooBig = errors.New("server: frame exceeds protocol limit")
+	ErrBadFrame    = errors.New("server: malformed frame")
+)
+
+// request is one decoded client request.
+type request struct {
+	Op      uint8
+	Version uint64
+	Key     []byte
+	Value   []byte
+}
+
+// writeFrame writes a length-prefixed frame.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// encodeRequest serializes a request body (without the frame header).
+func encodeRequest(req request) ([]byte, error) {
+	if len(req.Key) > MaxKeyLen {
+		return nil, fmt.Errorf("%w: key %d bytes", ErrFrameTooBig, len(req.Key))
+	}
+	if len(req.Value) > MaxValueLen {
+		return nil, fmt.Errorf("%w: value %d bytes", ErrFrameTooBig, len(req.Value))
+	}
+	buf := make([]byte, 0, 1+8+2+len(req.Key)+4+len(req.Value))
+	buf = append(buf, req.Op)
+	buf = binary.LittleEndian.AppendUint64(buf, req.Version)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.Key)))
+	buf = append(buf, req.Key...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Value)))
+	buf = append(buf, req.Value...)
+	return buf, nil
+}
+
+// decodeRequest parses a request body.
+func decodeRequest(buf []byte) (request, error) {
+	var req request
+	if len(buf) < 1+8+2 {
+		return req, fmt.Errorf("%w: short header", ErrBadFrame)
+	}
+	req.Op = buf[0]
+	req.Version = binary.LittleEndian.Uint64(buf[1:])
+	klen := int(binary.LittleEndian.Uint16(buf[9:]))
+	p := 11
+	if len(buf) < p+klen+4 {
+		return req, fmt.Errorf("%w: short key", ErrBadFrame)
+	}
+	req.Key = buf[p : p+klen]
+	p += klen
+	vlen := int(binary.LittleEndian.Uint32(buf[p:]))
+	p += 4
+	if len(buf) < p+vlen {
+		return req, fmt.Errorf("%w: short value", ErrBadFrame)
+	}
+	if vlen > 0 {
+		req.Value = buf[p : p+vlen]
+	}
+	return req, nil
+}
+
+// encodeResponse serializes a response body.
+func encodeResponse(status uint8, payload []byte) []byte {
+	buf := make([]byte, 0, 1+4+len(payload))
+	buf = append(buf, status)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	return buf
+}
+
+// decodeResponse parses a response body.
+func decodeResponse(buf []byte) (status uint8, payload []byte, err error) {
+	if len(buf) < 5 {
+		return 0, nil, fmt.Errorf("%w: short response", ErrBadFrame)
+	}
+	status = buf[0]
+	n := int(binary.LittleEndian.Uint32(buf[1:]))
+	if len(buf) < 5+n {
+		return 0, nil, fmt.Errorf("%w: short payload", ErrBadFrame)
+	}
+	return status, buf[5 : 5+n], nil
+}
+
+// RangeEntry is one (key, version) hit returned by OpRange.
+type RangeEntry struct {
+	Key     []byte
+	Version uint64
+}
+
+// encodeRangeEntries packs range results.
+func encodeRangeEntries(entries []RangeEntry) []byte {
+	var buf []byte
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Key)))
+		buf = append(buf, e.Key...)
+		buf = binary.LittleEndian.AppendUint64(buf, e.Version)
+	}
+	return buf
+}
+
+// decodeRangeEntries unpacks range results.
+func decodeRangeEntries(buf []byte) ([]RangeEntry, error) {
+	var out []RangeEntry
+	for p := 0; p < len(buf); {
+		if p+2 > len(buf) {
+			return nil, ErrBadFrame
+		}
+		klen := int(binary.LittleEndian.Uint16(buf[p:]))
+		p += 2
+		if p+klen+8 > len(buf) {
+			return nil, ErrBadFrame
+		}
+		e := RangeEntry{Key: append([]byte(nil), buf[p:p+klen]...)}
+		p += klen
+		e.Version = binary.LittleEndian.Uint64(buf[p:])
+		p += 8
+		out = append(out, e)
+	}
+	return out, nil
+}

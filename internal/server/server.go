@@ -1,0 +1,222 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"directload/internal/core"
+)
+
+// StatsReply is the JSON payload of OpStats.
+type StatsReply struct {
+	Engine core.Stats `json:"engine"`
+	Conns  int        `json:"conns"`
+}
+
+// Server exposes one QinDB engine on a TCP listener. One goroutine per
+// connection; requests on a connection are processed in order.
+type Server struct {
+	db *core.DB
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	logf     func(format string, args ...any)
+	rangeCap int
+}
+
+// New wraps an engine. The caller keeps ownership of db and must close
+// it after the server stops.
+func New(db *core.DB) *Server {
+	return &Server{
+		db:       db,
+		conns:    make(map[net.Conn]bool),
+		logf:     log.Printf,
+		rangeCap: 4096,
+	}
+}
+
+// SetLogf replaces the server's logger (nil silences it).
+func (s *Server) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s.logf = logf
+}
+
+// Serve accepts connections on ln until Close. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr ("host:port", port 0 for ephemeral) and
+// serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting and tears down open connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.dropConn(conn)
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return // EOF or teardown
+		}
+		req, err := decodeRequest(frame)
+		var resp []byte
+		if err != nil {
+			resp = encodeResponse(StatusError, []byte(err.Error()))
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// dispatch executes one request against the engine.
+func (s *Server) dispatch(req request) []byte {
+	switch req.Op {
+	case OpPing:
+		return encodeResponse(StatusOK, []byte("pong"))
+	case OpPut, OpPutDedup:
+		_, err := s.db.Put(req.Key, req.Version, req.Value, req.Op == OpPutDedup)
+		return statusOnly(err)
+	case OpGet:
+		val, _, err := s.db.Get(req.Key, req.Version)
+		if err != nil {
+			return errResponse(err)
+		}
+		return encodeResponse(StatusOK, val)
+	case OpDel:
+		_, err := s.db.Del(req.Key, req.Version)
+		return statusOnly(err)
+	case OpDropVersion:
+		_, _, err := s.db.DropVersion(req.Version)
+		return statusOnly(err)
+	case OpHas:
+		if s.db.Has(req.Key, req.Version) {
+			return encodeResponse(StatusOK, []byte{1})
+		}
+		return encodeResponse(StatusOK, []byte{0})
+	case OpStats:
+		s.mu.Lock()
+		conns := len(s.conns)
+		s.mu.Unlock()
+		payload, err := json.Marshal(StatsReply{Engine: s.db.Stats(), Conns: conns})
+		if err != nil {
+			return errResponse(err)
+		}
+		return encodeResponse(StatusOK, payload)
+	case OpRange:
+		// Key = from, Value = exclusive upper bound, Version = limit.
+		limit := int(req.Version)
+		if limit <= 0 || limit > s.rangeCap {
+			limit = s.rangeCap
+		}
+		var entries []RangeEntry
+		s.db.Range(req.Key, req.Value, func(key []byte, ver uint64) bool {
+			entries = append(entries, RangeEntry{Key: append([]byte(nil), key...), Version: ver})
+			return len(entries) < limit
+		})
+		return encodeResponse(StatusOK, encodeRangeEntries(entries))
+	default:
+		return encodeResponse(StatusError, []byte("unknown op"))
+	}
+}
+
+func statusOnly(err error) []byte {
+	if err != nil {
+		return errResponse(err)
+	}
+	return encodeResponse(StatusOK, nil)
+}
+
+func errResponse(err error) []byte {
+	status := StatusError
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		status = StatusNotFound
+	case errors.Is(err, core.ErrDeleted):
+		status = StatusDeleted
+	}
+	return encodeResponse(status, []byte(err.Error()))
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"directload/internal/aof"
+	"directload/internal/blockfs"
+	"directload/internal/core"
+	"directload/internal/ssd"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	dev, err := ssd.NewDevice(ssd.DefaultConfig(256 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(blockfs.NewNativeFS(dev), core.Options{
+		AOF: aof.Config{FileSize: 4 << 20, GCThreshold: 0.25}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(db)
+	s.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		s.Close()
+		db.Close()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("Serve: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+	})
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return s, cl
+}
+
+func TestPingPutGetDel(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put([]byte("k"), 1, []byte("hello"), false); err != nil {
+		t.Fatal(err)
+	}
+	val, err := cl.Get([]byte("k"), 1)
+	if err != nil || string(val) != "hello" {
+		t.Fatalf("Get = %q, %v", val, err)
+	}
+	if err := cl.Del([]byte("k"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Get([]byte("k"), 1); !errors.Is(err, ErrDeleted) {
+		t.Fatalf("Get after Del err = %v", err)
+	}
+	if _, err := cl.Get([]byte("missing"), 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing err = %v", err)
+	}
+}
+
+func TestDedupOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	if err := cl.Put([]byte("k"), 1, []byte("base"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put([]byte("k"), 2, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	val, err := cl.Get([]byte("k"), 2)
+	if err != nil || string(val) != "base" {
+		t.Fatalf("dedup Get = %q, %v", val, err)
+	}
+}
+
+func TestHasAndDropVersion(t *testing.T) {
+	_, cl := startServer(t)
+	cl.Put([]byte("a"), 1, []byte("v"), false)
+	cl.Put([]byte("a"), 2, []byte("v"), false)
+	ok, err := cl.Has([]byte("a"), 1)
+	if err != nil || !ok {
+		t.Fatalf("Has = %v, %v", ok, err)
+	}
+	if err := cl.DropVersion(1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := cl.Has([]byte("a"), 1); ok {
+		t.Fatal("Has should be false after DropVersion")
+	}
+	if ok, _ := cl.Has([]byte("a"), 2); !ok {
+		t.Fatal("v2 should survive")
+	}
+}
+
+func TestRangeOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	for i := 0; i < 10; i++ {
+		cl.Put([]byte(fmt.Sprintf("key-%02d", i)), 1, []byte("v"), false)
+	}
+	entries, err := cl.Range([]byte("key-02"), []byte("key-07"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("Range = %d entries, want 5", len(entries))
+	}
+	if string(entries[0].Key) != "key-02" || entries[0].Version != 1 {
+		t.Fatalf("first entry = %+v", entries[0])
+	}
+	// Limit applies.
+	entries, err = cl.Range(nil, nil, 3)
+	if err != nil || len(entries) != 3 {
+		t.Fatalf("limited Range = %d, %v", len(entries), err)
+	}
+}
+
+func TestStatsOverWire(t *testing.T) {
+	_, cl := startServer(t)
+	cl.Put([]byte("k"), 1, bytes.Repeat([]byte{1}, 1000), false)
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine.Puts != 1 || st.Engine.UserWriteBytes != 1001 {
+		t.Fatalf("Stats = %+v", st.Engine)
+	}
+	if st.Conns < 1 {
+		t.Fatalf("Conns = %d", st.Conns)
+	}
+}
+
+func TestLargeValue(t *testing.T) {
+	_, cl := startServer(t)
+	val := bytes.Repeat([]byte{0xAB}, 2<<20)
+	if err := cl.Put([]byte("big"), 1, val, false); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get([]byte("big"), 1)
+	if err != nil || !bytes.Equal(got, val) {
+		t.Fatalf("large round-trip failed: %d bytes, %v", len(got), err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	s, _ := startServer(t)
+	addr := s.Addr().String()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 100; i++ {
+				key := []byte(fmt.Sprintf("c%d-k%03d", c, i))
+				if err := cl.Put(key, 1, key, false); err != nil {
+					errCh <- err
+					return
+				}
+				got, err := cl.Get(key, 1)
+				if err != nil || !bytes.Equal(got, key) {
+					errCh <- fmt.Errorf("round-trip %s: %v", key, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestMalformedFrameGetsError(t *testing.T) {
+	s, _ := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A 2-byte body is too short for any request.
+	if err := writeFrame(conn, []byte{OpGet, 0}); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, payload, err := decodeResponse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != StatusError || len(payload) == 0 {
+		t.Fatalf("status = %d, payload = %q", status, payload)
+	}
+	// The connection stays usable.
+	body, _ := encodeRequest(request{Op: OpPing})
+	writeFrame(conn, body)
+	frame, err = readFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status, payload, _ := decodeResponse(frame); status != StatusOK || string(payload) != "pong" {
+		t.Fatal("connection unusable after protocol error")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	if _, err := encodeRequest(request{Op: OpPut, Key: make([]byte, MaxKeyLen+1)}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize key err = %v", err)
+	}
+	if _, err := encodeRequest(request{Op: OpPut, Key: []byte("k"), Value: make([]byte, MaxValueLen+1)}); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("oversize value err = %v", err)
+	}
+}
+
+func TestCloseUnblocksServe(t *testing.T) {
+	// Covered by the startServer cleanup; this exercises double Close.
+	s, _ := startServer(t)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("double Close should be a no-op")
+	}
+}
+
+// Property: request encode/decode round-trips arbitrary payloads.
+func TestQuickProtocolRoundTrip(t *testing.T) {
+	f := func(op uint8, version uint64, key, value []byte) bool {
+		if len(key) > MaxKeyLen || len(value) > 1<<16 {
+			return true
+		}
+		req := request{Op: op, Version: version, Key: key, Value: value}
+		body, err := encodeRequest(req)
+		if err != nil {
+			return false
+		}
+		got, err := decodeRequest(body)
+		if err != nil {
+			return false
+		}
+		return got.Op == op && got.Version == version &&
+			bytes.Equal(got.Key, key) && bytes.Equal(got.Value, value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

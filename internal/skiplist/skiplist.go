@@ -1,0 +1,249 @@
+// Package skiplist implements the probabilistic ordered map of Pugh
+// (CACM 1990) that both QinDB's memtable and the LSM baseline's memtable
+// are built on. The paper keeps only keys plus AOF offsets in memory
+// (§2.1), so the list is generic over small value types and optimized for
+// ordered scans: equal keys sort adjacently, which is what makes QinDB's
+// version traceback a short forward walk.
+//
+// The list is safe for concurrent use: mutations take an exclusive lock,
+// lookups and iteration take a shared lock. This matches the engine's
+// access pattern (few writer threads, many readers) without the
+// complexity of a lock-free list, which the paper does not require.
+package skiplist
+
+import (
+	"math/rand"
+	"sync"
+)
+
+const (
+	maxHeight = 18 // supports ~2^18 * 4 items before degrading
+	branching = 4  // P(level k+1 | level k) = 1/branching
+)
+
+// Compare returns a negative number if a sorts before b, zero if they are
+// equal, and a positive number otherwise.
+type Compare[K any] func(a, b K) int
+
+type node[K, V any] struct {
+	key   K
+	value V
+	next  []*node[K, V]
+}
+
+// List is an ordered map from K to V.
+type List[K, V any] struct {
+	mu     sync.RWMutex
+	cmp    Compare[K]
+	head   *node[K, V]
+	height int
+	length int
+	rng    *rand.Rand
+}
+
+// New creates an empty list ordered by cmp. The seed makes level choices
+// deterministic, which keeps tests and benchmarks reproducible.
+func New[K, V any](cmp Compare[K], seed int64) *List[K, V] {
+	return &List[K, V]{
+		cmp:    cmp,
+		head:   &node[K, V]{next: make([]*node[K, V], maxHeight)},
+		height: 1,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Len returns the number of items in the list.
+func (l *List[K, V]) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.length
+}
+
+func (l *List[K, V]) randomHeight() int {
+	h := 1
+	for h < maxHeight && l.rng.Intn(branching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGE returns the first node with key >= key, filling prev with the
+// rightmost node before that position at every level. Callers hold l.mu.
+func (l *List[K, V]) findGE(key K, prev []*node[K, V]) *node[K, V] {
+	x := l.head
+	for level := l.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && l.cmp(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Set inserts key with value, replacing any existing value for an equal
+// key. It reports whether a new item was inserted (false means replaced).
+func (l *List[K, V]) Set(key K, value V) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := make([]*node[K, V], maxHeight)
+	for i := l.height; i < maxHeight; i++ {
+		prev[i] = l.head
+	}
+	if n := l.findGE(key, prev); n != nil && l.cmp(n.key, key) == 0 {
+		n.value = value
+		return false
+	}
+	h := l.randomHeight()
+	if h > l.height {
+		l.height = h
+	}
+	n := &node[K, V]{key: key, value: value, next: make([]*node[K, V], h)}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	l.length++
+	return true
+}
+
+// Get returns the value stored under key.
+func (l *List[K, V]) Get(key K) (V, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := l.findGE(key, nil)
+	if n != nil && l.cmp(n.key, key) == 0 {
+		return n.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Update applies fn to the value stored under key in place, holding the
+// write lock for the duration. It reports whether the key was found.
+// QinDB uses this to flip delete flags and to relocate AOF offsets during
+// garbage collection without a delete/re-insert cycle.
+func (l *List[K, V]) Update(key K, fn func(v V) V) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.findGE(key, nil)
+	if n != nil && l.cmp(n.key, key) == 0 {
+		n.value = fn(n.value)
+		return true
+	}
+	return false
+}
+
+// Delete removes key and reports whether it was present.
+func (l *List[K, V]) Delete(key K) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	prev := make([]*node[K, V], maxHeight)
+	for i := range prev {
+		prev[i] = l.head
+	}
+	n := l.findGE(key, prev)
+	if n == nil || l.cmp(n.key, key) != 0 {
+		return false
+	}
+	for level := 0; level < len(n.next); level++ {
+		if prev[level].next[level] == n {
+			prev[level].next[level] = n.next[level]
+		}
+	}
+	for l.height > 1 && l.head.next[l.height-1] == nil {
+		l.height--
+	}
+	l.length--
+	return true
+}
+
+// Min returns the smallest key and its value.
+func (l *List[K, V]) Min() (K, V, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if n := l.head.next[0]; n != nil {
+		return n.key, n.value, true
+	}
+	var zk K
+	var zv V
+	return zk, zv, false
+}
+
+// Ascend calls fn for every item with key >= from, in ascending order,
+// until fn returns false. The shared lock is held for the whole scan;
+// fn must not mutate the list.
+func (l *List[K, V]) Ascend(from K, fn func(key K, value V) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for n := l.findGE(from, nil); n != nil; n = n.next[0] {
+		if !fn(n.key, n.value) {
+			return
+		}
+	}
+}
+
+// AscendAll calls fn for every item in ascending order until fn returns
+// false.
+func (l *List[K, V]) AscendAll(fn func(key K, value V) bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for n := n0(l); n != nil; n = n.next[0] {
+		if !fn(n.key, n.value) {
+			return
+		}
+	}
+}
+
+func n0[K, V any](l *List[K, V]) *node[K, V] { return l.head.next[0] }
+
+// Iterator walks the list in ascending order. It holds no lock between
+// calls; instead each advance re-acquires the shared lock, so iteration
+// is safe alongside concurrent mutations but sees a live view (items
+// inserted behind the cursor are skipped, items ahead are observed).
+type Iterator[K, V any] struct {
+	l       *List[K, V]
+	cur     *node[K, V]
+	started bool
+}
+
+// NewIterator returns an iterator positioned before the first item.
+func (l *List[K, V]) NewIterator() *Iterator[K, V] {
+	return &Iterator[K, V]{l: l}
+}
+
+// Seek positions the iterator at the first item with key >= key and
+// reports whether such an item exists.
+func (it *Iterator[K, V]) Seek(key K) bool {
+	it.l.mu.RLock()
+	defer it.l.mu.RUnlock()
+	it.cur = it.l.findGE(key, nil)
+	it.started = true
+	return it.cur != nil
+}
+
+// Next advances to the following item and reports whether one exists.
+// Calling Next on a fresh iterator positions it at the first item.
+func (it *Iterator[K, V]) Next() bool {
+	it.l.mu.RLock()
+	defer it.l.mu.RUnlock()
+	if !it.started {
+		it.cur = it.l.head.next[0]
+		it.started = true
+	} else if it.cur != nil {
+		it.cur = it.cur.next[0]
+	}
+	return it.cur != nil
+}
+
+// Valid reports whether the iterator is positioned at an item.
+func (it *Iterator[K, V]) Valid() bool { return it.started && it.cur != nil }
+
+// Key returns the key at the current position; it must only be called
+// when Valid() is true.
+func (it *Iterator[K, V]) Key() K { return it.cur.key }
+
+// Value returns the value at the current position; it must only be
+// called when Valid() is true.
+func (it *Iterator[K, V]) Value() V { return it.cur.value }

@@ -1,0 +1,321 @@
+package skiplist
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func strCmp(a, b string) int { return strings.Compare(a, b) }
+
+func TestSetGet(t *testing.T) {
+	l := New[int, string](intCmp, 1)
+	if _, ok := l.Get(1); ok {
+		t.Fatal("Get on empty list should miss")
+	}
+	if !l.Set(1, "one") {
+		t.Fatal("first Set should insert")
+	}
+	if l.Set(1, "uno") {
+		t.Fatal("second Set of same key should replace, not insert")
+	}
+	v, ok := l.Get(1)
+	if !ok || v != "uno" {
+		t.Fatalf("Get(1) = %q, %v; want uno, true", v, ok)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", l.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	l := New[int, int](intCmp, 2)
+	for i := 0; i < 100; i++ {
+		l.Set(i, i*10)
+	}
+	if !l.Delete(50) {
+		t.Fatal("Delete(50) should succeed")
+	}
+	if l.Delete(50) {
+		t.Fatal("second Delete(50) should fail")
+	}
+	if _, ok := l.Get(50); ok {
+		t.Fatal("Get(50) should miss after delete")
+	}
+	if l.Len() != 99 {
+		t.Fatalf("Len() = %d, want 99", l.Len())
+	}
+	// Remaining keys intact.
+	for i := 0; i < 100; i++ {
+		if i == 50 {
+			continue
+		}
+		if v, ok := l.Get(i); !ok || v != i*10 {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	l := New[int, int](intCmp, 3)
+	for i := 0; i < 64; i++ {
+		l.Set(i, i)
+	}
+	for i := 0; i < 64; i++ {
+		if !l.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", l.Len())
+	}
+	if _, _, ok := l.Min(); ok {
+		t.Fatal("Min on empty list should miss")
+	}
+	l.Set(7, 70)
+	if v, ok := l.Get(7); !ok || v != 70 {
+		t.Fatal("list unusable after emptying")
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	l := New[int, int](intCmp, 4)
+	perm := rand.New(rand.NewSource(9)).Perm(1000)
+	for _, k := range perm {
+		l.Set(k, k)
+	}
+	var got []int
+	l.AscendAll(func(k, v int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 1000 {
+		t.Fatalf("iterated %d items, want 1000", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatal("AscendAll must visit keys in ascending order")
+	}
+}
+
+func TestAscendFrom(t *testing.T) {
+	l := New[int, int](intCmp, 5)
+	for i := 0; i < 100; i += 2 { // even keys only
+		l.Set(i, i)
+	}
+	var got []int
+	l.Ascend(51, func(k, v int) bool { // 51 absent; first >= is 52
+		got = append(got, k)
+		return len(got) < 3
+	})
+	want := []int{52, 54, 56}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Ascend(51) = %v, want %v", got, want)
+	}
+}
+
+func TestMin(t *testing.T) {
+	l := New[int, string](intCmp, 6)
+	l.Set(42, "a")
+	l.Set(7, "b")
+	l.Set(100, "c")
+	k, v, ok := l.Min()
+	if !ok || k != 7 || v != "b" {
+		t.Fatalf("Min() = %d, %q, %v", k, v, ok)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	l := New[string, int](strCmp, 7)
+	l.Set("k", 1)
+	if !l.Update("k", func(v int) int { return v + 10 }) {
+		t.Fatal("Update of present key should succeed")
+	}
+	if v, _ := l.Get("k"); v != 11 {
+		t.Fatalf("Get = %d, want 11", v)
+	}
+	if l.Update("missing", func(v int) int { return v }) {
+		t.Fatal("Update of absent key should fail")
+	}
+}
+
+func TestIteratorSeekNext(t *testing.T) {
+	l := New[int, int](intCmp, 8)
+	for i := 10; i <= 50; i += 10 {
+		l.Set(i, i)
+	}
+	it := l.NewIterator()
+	if it.Valid() {
+		t.Fatal("fresh iterator should not be valid")
+	}
+	if !it.Next() || it.Key() != 10 {
+		t.Fatalf("first Next should land on 10, got valid=%v", it.Valid())
+	}
+	if !it.Seek(25) || it.Key() != 30 {
+		t.Fatalf("Seek(25) should land on 30, got %d", it.Key())
+	}
+	if !it.Next() || it.Key() != 40 {
+		t.Fatalf("Next after Seek should land on 40")
+	}
+	it.Seek(51)
+	if it.Valid() {
+		t.Fatal("Seek past end should invalidate iterator")
+	}
+	if it.Next() {
+		t.Fatal("Next past end should report false")
+	}
+}
+
+func TestIteratorEmptyList(t *testing.T) {
+	l := New[int, int](intCmp, 9)
+	it := l.NewIterator()
+	if it.Next() {
+		t.Fatal("Next on empty list should report false")
+	}
+	if it.Seek(0) {
+		t.Fatal("Seek on empty list should report false")
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	l := New[string, int](strCmp, 10)
+	keys := []string{"banana", "apple", "cherry", "apple/2", "apple/1"}
+	for i, k := range keys {
+		l.Set(k, i)
+	}
+	var got []string
+	l.AscendAll(func(k string, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("string keys out of order: %v", got)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	l := New[int, int](intCmp, 11)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Set(w*1000+i, i)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Get(i)
+				l.Ascend(i, func(k, v int) bool { return false })
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 2000 {
+		t.Fatalf("Len() = %d, want 2000", l.Len())
+	}
+}
+
+// Property: a skip list agrees with a reference map under a random
+// sequence of Set/Delete operations, and iteration is always sorted.
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Key int8
+		Del bool
+	}
+	f := func(ops []op) bool {
+		l := New[int, int](intCmp, 42)
+		ref := map[int]int{}
+		for i, o := range ops {
+			k := int(o.Key)
+			if o.Del {
+				inList := l.Delete(k)
+				_, inRef := ref[k]
+				delete(ref, k)
+				if inList != inRef {
+					return false
+				}
+			} else {
+				l.Set(k, i)
+				ref[k] = i
+			}
+		}
+		if l.Len() != len(ref) {
+			return false
+		}
+		prev := -1 << 30
+		ok := true
+		l.AscendAll(func(k, v int) bool {
+			if k <= prev || ref[k] != v {
+				ok = false
+				return false
+			}
+			prev = k
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeInsertHeightGrowth(t *testing.T) {
+	l := New[int, int](intCmp, 12)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		l.Set(i, i)
+	}
+	if l.Len() != n {
+		t.Fatalf("Len() = %d, want %d", l.Len(), n)
+	}
+	// Spot-check lookups stay correct at scale.
+	for _, k := range []int{0, 1, n / 2, n - 1} {
+		if v, ok := l.Get(k); !ok || v != k {
+			t.Fatalf("Get(%d) = %d, %v", k, v, ok)
+		}
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	l := New[int, int](intCmp, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Set(i, i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	l := New[int, int](intCmp, 1)
+	for i := 0; i < 1<<16; i++ {
+		l.Set(i, i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Get(i & (1<<16 - 1))
+	}
+}
+
+func ExampleList() {
+	l := New[string, int](strCmp, 1)
+	l.Set("url/b", 2)
+	l.Set("url/a", 1)
+	l.AscendAll(func(k string, v int) bool {
+		fmt.Println(k, v)
+		return true
+	})
+	// Output:
+	// url/a 1
+	// url/b 2
+}

@@ -1,0 +1,216 @@
+// Package workload generates the deterministic synthetic workloads that
+// substitute for Baidu's production index traces (DESIGN.md §2). The
+// generators reproduce the geometry the paper states: 20-byte keys,
+// values of 20 KB on average (summary index), a configurable fraction of
+// values identical to the previous version (the paper observes ~70%),
+// and Zipf-distributed read popularity.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KVConfig shapes a key-value stream.
+type KVConfig struct {
+	// Keys is the number of distinct keys in the key space.
+	Keys int
+	// KeyPrefix lets multiple streams coexist; the full key is
+	// "<prefix><index padded to fill 20 bytes>".
+	KeyPrefix string
+	// ValueSize is the mean value size in bytes (paper: 20 KB).
+	ValueSize int
+	// ValueSizeStdDev spreads value sizes normally around the mean
+	// (clamped to [64, 4*mean]); 0 produces fixed-size values.
+	ValueSizeStdDev int
+	// DupRatio is the probability that a key's value is byte-identical
+	// to its previous version (paper: ~0.7 on average).
+	DupRatio float64
+	// Seed drives all randomness; identical configs generate identical
+	// streams.
+	Seed int64
+}
+
+// DefaultKVConfig matches the paper's summary-index microbenchmark:
+// 20-byte keys, 20 KB average values.
+func DefaultKVConfig() KVConfig {
+	return KVConfig{
+		Keys:            1000,
+		ValueSize:       20 << 10,
+		ValueSizeStdDev: 4 << 10,
+		DupRatio:        0.7,
+		Seed:            1,
+	}
+}
+
+// Entry is one generated key-value pair.
+type Entry struct {
+	Key     []byte
+	Version uint64
+	Value   []byte
+	// Dup reports that the value equals the previous version's (the
+	// deduper would strip it).
+	Dup bool
+}
+
+// Generator produces versioned KV streams.
+type Generator struct {
+	cfg KVConfig
+	rng *rand.Rand
+	// valueSeed tracks the generation seed of each key's current value so
+	// duplicates are byte-identical and changes are not.
+	valueSeed []int64
+	valueLen  []int
+	version   uint64
+}
+
+// NewGenerator validates cfg and creates a generator.
+func NewGenerator(cfg KVConfig) (*Generator, error) {
+	if cfg.Keys <= 0 {
+		return nil, fmt.Errorf("workload: non-positive key count %d", cfg.Keys)
+	}
+	if cfg.ValueSize <= 0 {
+		return nil, fmt.Errorf("workload: non-positive value size %d", cfg.ValueSize)
+	}
+	if cfg.DupRatio < 0 || cfg.DupRatio > 1 {
+		return nil, fmt.Errorf("workload: dup ratio %v out of [0,1]", cfg.DupRatio)
+	}
+	return &Generator{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		valueSeed: make([]int64, cfg.Keys),
+		valueLen:  make([]int, cfg.Keys),
+	}, nil
+}
+
+// Key renders the i-th key: exactly 20 bytes (paper's key size) unless
+// the prefix already exceeds it.
+func (g *Generator) Key(i int) []byte {
+	body := fmt.Sprintf("%s%d", g.cfg.KeyPrefix, i)
+	if pad := 20 - len(body); pad > 0 {
+		return []byte(fmt.Sprintf("%s%0*d", g.cfg.KeyPrefix, 20-len(g.cfg.KeyPrefix), i))
+	}
+	return []byte(body)
+}
+
+// KeyCount returns the key-space size.
+func (g *Generator) KeyCount() int { return g.cfg.Keys }
+
+// Version returns the last version generated (0 before the first).
+func (g *Generator) Version() uint64 { return g.version }
+
+// NextVersion advances to the next version and emits every key once, in
+// key order, calling fn for each entry. A fraction DupRatio of keys keep
+// their previous value byte-for-byte; the rest mutate. The first version
+// never contains duplicates.
+func (g *Generator) NextVersion(fn func(e Entry) error) error {
+	return g.NextVersionRatio(g.cfg.DupRatio, fn)
+}
+
+// NextVersionRatio is NextVersion with an explicit duplicate ratio,
+// letting trace replays vary redundancy day by day (Fig. 9).
+func (g *Generator) NextVersionRatio(dupRatio float64, fn func(e Entry) error) error {
+	g.version++
+	for i := 0; i < g.cfg.Keys; i++ {
+		dup := g.version > 1 && g.rng.Float64() < dupRatio
+		if !dup {
+			g.valueSeed[i] = g.rng.Int63()
+			g.valueLen[i] = g.pickSize()
+		}
+		e := Entry{
+			Key:     g.Key(i),
+			Version: g.version,
+			Value:   g.materialize(i),
+			Dup:     dup,
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickSize draws a value size.
+func (g *Generator) pickSize() int {
+	if g.cfg.ValueSizeStdDev == 0 {
+		return g.cfg.ValueSize
+	}
+	s := int(g.rng.NormFloat64()*float64(g.cfg.ValueSizeStdDev)) + g.cfg.ValueSize
+	if s < 64 {
+		s = 64
+	}
+	if max := g.cfg.ValueSize * 4; s > max {
+		s = max
+	}
+	return s
+}
+
+// materialize renders the current value of key i deterministically from
+// its seed, so duplicate versions are byte-identical.
+func (g *Generator) materialize(i int) []byte {
+	r := rand.New(rand.NewSource(g.valueSeed[i]))
+	v := make([]byte, g.valueLen[i])
+	r.Read(v)
+	return v
+}
+
+// Value returns the current value of key i (for verification).
+func (g *Generator) Value(i int) []byte { return g.materialize(i) }
+
+// --- read workload ---------------------------------------------------------
+
+// ReadGen draws keys with Zipf popularity — the read-side pattern of the
+// paper's latency experiment (Fig. 8).
+type ReadGen struct {
+	zipf *rand.Zipf
+	keys int
+}
+
+// NewReadGen creates a Zipf read generator over n keys with skew s > 1
+// (s closer to 1 is more uniform; ~1.1 is typical web skew).
+func NewReadGen(n int, s float64, seed int64) (*ReadGen, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: non-positive key count %d", n)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: zipf skew must be > 1, got %v", s)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &ReadGen{zipf: rand.NewZipf(rng, s, 1, uint64(n-1)), keys: n}, nil
+}
+
+// Next returns the next key index to read.
+func (r *ReadGen) Next() int { return int(r.zipf.Uint64()) }
+
+// --- trace profiles ---------------------------------------------------------
+
+// DayProfile describes one day of the month-long trace behind Figs. 9-10:
+// the redundancy ratio Bifrost will see and whether a new index version
+// is generated that day.
+type DayProfile struct {
+	Day        int
+	DupRatio   float64
+	NewVersion bool
+}
+
+// MonthProfile generates a deterministic 30-day profile with 10 version
+// builds (the paper analyses "a one-month long system log containing 10
+// versions of index data") whose redundancy wanders between lo and hi.
+func MonthProfile(lo, hi float64, seed int64) []DayProfile {
+	rng := rand.New(rand.NewSource(seed))
+	days := make([]DayProfile, 30)
+	// Spread 10 version builds across the month deterministically.
+	buildDays := map[int]bool{}
+	for len(buildDays) < 10 {
+		buildDays[rng.Intn(30)] = true
+	}
+	ratio := (lo + hi) / 2
+	for d := 0; d < 30; d++ {
+		// Random walk between lo and hi.
+		ratio += rng.NormFloat64() * (hi - lo) / 8
+		ratio = math.Max(lo, math.Min(hi, ratio))
+		days[d] = DayProfile{Day: d + 1, DupRatio: ratio, NewVersion: buildDays[d]}
+	}
+	return days
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(KVConfig{Keys: 0, ValueSize: 1}); err == nil {
+		t.Fatal("zero keys should fail")
+	}
+	if _, err := NewGenerator(KVConfig{Keys: 1, ValueSize: 0}); err == nil {
+		t.Fatal("zero value size should fail")
+	}
+	if _, err := NewGenerator(KVConfig{Keys: 1, ValueSize: 1, DupRatio: 1.5}); err == nil {
+		t.Fatal("bad dup ratio should fail")
+	}
+}
+
+func TestKeysAre20Bytes(t *testing.T) {
+	g, err := NewGenerator(DefaultKVConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 999} {
+		if k := g.Key(i); len(k) != 20 {
+			t.Fatalf("Key(%d) = %q (%d bytes), want 20 (paper's key size)", i, k, len(k))
+		}
+	}
+	if string(g.Key(1)) == string(g.Key(2)) {
+		t.Fatal("keys must be distinct")
+	}
+}
+
+func TestKeysWithPrefix(t *testing.T) {
+	cfg := DefaultKVConfig()
+	cfg.KeyPrefix = "inv/"
+	g, _ := NewGenerator(cfg)
+	k := g.Key(7)
+	if len(k) != 20 || string(k[:4]) != "inv/" {
+		t.Fatalf("Key = %q", k)
+	}
+}
+
+func TestDupRatioRealized(t *testing.T) {
+	cfg := DefaultKVConfig()
+	cfg.Keys = 2000
+	cfg.ValueSize = 128
+	cfg.ValueSizeStdDev = 0
+	cfg.DupRatio = 0.7
+	g, _ := NewGenerator(cfg)
+
+	prev := map[string][]byte{}
+	if err := g.NextVersion(func(e Entry) error {
+		if e.Dup {
+			t.Fatal("first version must not contain duplicates")
+		}
+		prev[string(e.Key)] = e.Value
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	dups := 0
+	if err := g.NextVersion(func(e Entry) error {
+		same := bytes.Equal(prev[string(e.Key)], e.Value)
+		if e.Dup != same {
+			t.Fatalf("Dup flag %v but value equality %v", e.Dup, same)
+		}
+		if e.Dup {
+			dups++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dups) / 2000
+	if ratio < 0.65 || ratio > 0.75 {
+		t.Fatalf("realized dup ratio = %v, want ~0.7", ratio)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() [][]byte {
+		cfg := DefaultKVConfig()
+		cfg.Keys = 50
+		g, _ := NewGenerator(cfg)
+		var out [][]byte
+		for v := 0; v < 3; v++ {
+			g.NextVersion(func(e Entry) error {
+				out = append(out, append([]byte(nil), e.Value...))
+				return nil
+			})
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("run lengths differ")
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("runs diverge at %d", i)
+		}
+	}
+}
+
+func TestValueSizesSpread(t *testing.T) {
+	cfg := DefaultKVConfig()
+	cfg.Keys = 500
+	g, _ := NewGenerator(cfg)
+	var min, max, sum int
+	min = 1 << 30
+	g.NextVersion(func(e Entry) error {
+		n := len(e.Value)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		sum += n
+		return nil
+	})
+	mean := sum / 500
+	if mean < 16<<10 || mean > 24<<10 {
+		t.Fatalf("mean value size = %d, want ~20KB", mean)
+	}
+	if min == max {
+		t.Fatal("sizes should spread with non-zero stddev")
+	}
+	if min < 64 {
+		t.Fatalf("min size = %d, clamp failed", min)
+	}
+}
+
+func TestValueAccessorMatchesStream(t *testing.T) {
+	cfg := DefaultKVConfig()
+	cfg.Keys = 20
+	g, _ := NewGenerator(cfg)
+	vals := map[int][]byte{}
+	g.NextVersion(func(e Entry) error { return nil })
+	for i := 0; i < 20; i++ {
+		vals[i] = g.Value(i)
+	}
+	// Value() is stable until the next version changes it.
+	for i := 0; i < 20; i++ {
+		if !bytes.Equal(vals[i], g.Value(i)) {
+			t.Fatalf("Value(%d) not stable", i)
+		}
+	}
+}
+
+func TestReadGenZipf(t *testing.T) {
+	if _, err := NewReadGen(0, 1.1, 1); err == nil {
+		t.Fatal("zero keys should fail")
+	}
+	if _, err := NewReadGen(10, 1.0, 1); err == nil {
+		t.Fatal("skew <= 1 should fail")
+	}
+	r, err := NewReadGen(1000, 1.2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		k := r.Next()
+		if k < 0 || k >= 1000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Zipf: the most popular key dominates the 500th.
+	if counts[0] <= counts[500]*10 {
+		t.Fatalf("distribution not skewed: head=%d mid=%d", counts[0], counts[500])
+	}
+}
+
+func TestMonthProfile(t *testing.T) {
+	days := MonthProfile(0.2, 0.85, 7)
+	if len(days) != 30 {
+		t.Fatalf("days = %d", len(days))
+	}
+	builds := 0
+	for i, d := range days {
+		if d.Day != i+1 {
+			t.Fatalf("day numbering broken at %d", i)
+		}
+		if d.DupRatio < 0.2 || d.DupRatio > 0.85 {
+			t.Fatalf("day %d ratio %v out of bounds", d.Day, d.DupRatio)
+		}
+		if d.NewVersion {
+			builds++
+		}
+	}
+	if builds != 10 {
+		t.Fatalf("builds = %d, want 10 (paper: 10 versions in a month)", builds)
+	}
+	// Deterministic.
+	again := MonthProfile(0.2, 0.85, 7)
+	for i := range days {
+		if days[i] != again[i] {
+			t.Fatal("MonthProfile not deterministic")
+		}
+	}
+}
