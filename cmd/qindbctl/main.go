@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
+	"time"
 
 	"directload/internal/server"
 )
@@ -24,7 +26,8 @@ import (
 var addr = flag.String("addr", "127.0.0.1:7707", "qindbd address")
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] <put|putd|get|del|drop|range|stats|ping> [args]")
+	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] <put|putd|get|del|drop|range|stats|metrics|ping> [args]")
+	fmt.Fprintln(os.Stderr, "       stats [-watch] [-interval 1s]   engine stats, or live metric deltas")
 	os.Exit(2)
 }
 
@@ -109,12 +112,28 @@ func main() {
 			fmt.Printf("%s\t@v%d\n", e.Key, e.Version)
 		}
 	case "stats":
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		watch := fs.Bool("watch", false, "poll the server and print metric deltas until interrupted")
+		interval := fs.Duration("interval", time.Second, "poll interval with -watch")
+		fs.Parse(args)
+		if *watch {
+			watchStats(cl, *interval)
+			return
+		}
 		st, err := cl.Stats()
 		if err != nil {
 			log.Fatal(err)
 		}
 		out, _ := json.MarshalIndent(st, "", "  ")
 		fmt.Println(string(out))
+	case "metrics":
+		m, err := cl.Metrics()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kv := range flattenMetrics(m) {
+			fmt.Printf("%s %g\n", kv.name, kv.value)
+		}
 	case "ping":
 		if err := cl.Ping(); err != nil {
 			log.Fatal(err)
@@ -122,5 +141,64 @@ func main() {
 		fmt.Println("pong")
 	default:
 		usage()
+	}
+}
+
+// metricKV is one flattened metric line.
+type metricKV struct {
+	name  string
+	value float64
+}
+
+// flattenMetrics turns the nested OpMetrics snapshot into sorted
+// name/value lines: scalar metrics pass through, histograms expand to
+// suffixed entries (qindb.put.latency_us.p99 etc.).
+func flattenMetrics(m map[string]any) []metricKV {
+	var out []metricKV
+	for name, v := range m {
+		switch val := v.(type) {
+		case float64:
+			out = append(out, metricKV{name, val})
+		case map[string]any:
+			for field, fv := range val {
+				if n, ok := fv.(float64); ok {
+					out = append(out, metricKV{name + "." + field, n})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// watchStats polls the server's metrics and renders per-interval deltas,
+// top-like, until the process is interrupted.
+func watchStats(cl *server.Client, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	prev := make(map[string]float64)
+	first := true
+	for {
+		m, err := cl.Metrics()
+		if err != nil {
+			log.Fatal(err)
+		}
+		kvs := flattenMetrics(m)
+		if !first {
+			fmt.Println()
+		}
+		fmt.Printf("--- %s ---\n", time.Now().Format("15:04:05"))
+		for _, kv := range kvs {
+			delta := kv.value - prev[kv.name]
+			if first || delta == 0 {
+				fmt.Printf("%-48s %14g\n", kv.name, kv.value)
+			} else {
+				fmt.Printf("%-48s %14g  %+g\n", kv.name, kv.value, delta)
+			}
+			prev[kv.name] = kv.value
+		}
+		first = false
+		time.Sleep(interval)
 	}
 }

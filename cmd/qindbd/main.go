@@ -15,28 +15,61 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"directload/internal/aof"
 	"directload/internal/blockfs"
 	"directload/internal/core"
+	"directload/internal/metrics"
 	"directload/internal/server"
 	"directload/internal/ssd"
 )
 
 var (
-	addr     = flag.String("addr", "127.0.0.1:7707", "listen address")
-	capacity = flag.Int64("capacity", 1<<30, "simulated SSD capacity in bytes")
-	aofSize  = flag.Int64("aof", 64<<20, "AOF file size in bytes (paper: 64 MB)")
-	gcThresh = flag.Float64("gc", 0.25, "lazy GC occupancy threshold (paper: 0.25)")
-	ckpt     = flag.Int64("checkpoint", 256<<20, "auto-checkpoint every N bytes (0 = off)")
+	addr        = flag.String("addr", "127.0.0.1:7707", "listen address")
+	capacity    = flag.Int64("capacity", 1<<30, "simulated SSD capacity in bytes")
+	aofSize     = flag.Int64("aof", 64<<20, "AOF file size in bytes (paper: 64 MB)")
+	gcThresh    = flag.Float64("gc", 0.25, "lazy GC occupancy threshold (paper: 0.25)")
+	ckpt        = flag.Int64("checkpoint", 256<<20, "auto-checkpoint every N bytes (0 = off)")
+	metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/trace (empty = off)")
 )
+
+// serveMetricsHTTP exposes the registry over HTTP: /metrics renders the
+// expvar-style text dump (or JSON with ?format=json), /debug/trace the
+// recent span ring.
+func serveMetricsHTTP(httpAddr string, reg *metrics.Registry) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			payload, err := reg.MarshalJSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Write(payload)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Tracer().WriteTo(w)
+	})
+	log.Printf("qindbd: metrics on http://%s/metrics", httpAddr)
+	if err := http.ListenAndServe(httpAddr, mux); err != nil {
+		log.Printf("qindbd: metrics server: %v", err)
+	}
+}
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	flag.Parse()
 
+	reg := metrics.NewRegistry()
 	dev, err := ssd.NewDevice(ssd.DefaultConfig(*capacity))
 	if err != nil {
 		log.Fatal(err)
@@ -45,6 +78,7 @@ func main() {
 		AOF:                  aof.Config{FileSize: *aofSize, GCThreshold: *gcThresh},
 		CheckpointEveryBytes: *ckpt,
 		Seed:                 1,
+		Metrics:              reg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -52,6 +86,10 @@ func main() {
 	defer db.Close()
 
 	s := server.New(db)
+	s.SetMetrics(reg)
+	if *metricsAddr != "" {
+		go serveMetricsHTTP(*metricsAddr, reg)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	go func() {

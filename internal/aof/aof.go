@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"directload/internal/blockfs"
+	"directload/internal/metrics"
 )
 
 // Record flags.
@@ -153,6 +154,10 @@ type Config struct {
 	// GC runs even while reads are in flight (the "free disk space"
 	// clause of the lazy policy). Zero disables the pressure override.
 	MinFreeBytes int64
+	// Metrics, when non-nil, receives the store's `aof.*` metrics
+	// (appends, rotations, fsyncs, GC activity). Nil keeps the store
+	// uninstrumented at zero cost.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig matches the paper: 64 MB AOFs, 25 % occupancy threshold.
@@ -178,10 +183,44 @@ type Store struct {
 
 	seq       uint64 // next sequence number to assign
 	readers   int    // reads in flight (lazy-GC deferral input)
+	appended  int64  // lifetime record bytes appended (incl. GC re-appends)
 	gcRuns    int64
 	gcMoved   int64 // bytes re-appended by GC
 	gcFreed   int64 // bytes of reclaimed files
 	gcPending int64 // dead bytes awaiting GC
+
+	met storeMetrics
+}
+
+// storeMetrics holds the store's registry handles. All fields stay nil
+// without a registry; the metric types' nil-receiver no-ops keep the
+// append path allocation-free in that case.
+type storeMetrics struct {
+	appends     *metrics.Counter
+	appendBytes *metrics.Counter
+	rotations   *metrics.Counter
+	fsyncs      *metrics.Counter
+	reads       *metrics.Counter
+	files       *metrics.Gauge
+	gcCollects  *metrics.Counter
+	gcMoved     *metrics.Counter
+	gcFreed     *metrics.Counter
+	tracer      *metrics.Tracer
+}
+
+func newStoreMetrics(reg *metrics.Registry) storeMetrics {
+	return storeMetrics{
+		appends:     reg.Counter("aof.appends"),
+		appendBytes: reg.Counter("aof.append.bytes"),
+		rotations:   reg.Counter("aof.rotations"),
+		fsyncs:      reg.Counter("aof.fsyncs"),
+		reads:       reg.Counter("aof.reads"),
+		files:       reg.Gauge("aof.files"),
+		gcCollects:  reg.Counter("aof.gc.collects"),
+		gcMoved:     reg.Counter("aof.gc.moved_bytes"),
+		gcFreed:     reg.Counter("aof.gc.freed_bytes"),
+		tracer:      reg.Tracer(),
+	}
 }
 
 // filename formats the AOF file name for id.
@@ -206,7 +245,7 @@ func Open(fs blockfs.FS, cfg Config) (*Store, error) {
 	if cfg.GCThreshold < 0 || cfg.GCThreshold > 1 {
 		return nil, errors.New("aof: GC threshold must be in [0, 1]")
 	}
-	s := &Store{fs: fs, cfg: cfg, files: make(map[uint32]*fileInfo)}
+	s := &Store{fs: fs, cfg: cfg, files: make(map[uint32]*fileInfo), met: newStoreMetrics(cfg.Metrics)}
 	for _, name := range fs.List() {
 		id, ok := parseFilename(name)
 		if !ok {
@@ -221,13 +260,16 @@ func Open(fs blockfs.FS, cfg Config) (*Store, error) {
 			s.nextID = id + 1
 		}
 	}
+	s.met.files.Set(int64(len(s.files)))
 	return s, nil
 }
 
 // rotateLocked seals the active file and opens a fresh one.
 func (s *Store) rotateLocked() error {
+	end := s.met.tracer.Span("aof.rotate")
 	if s.writer != nil {
 		if _, err := s.writer.Close(); err != nil {
+			end(err)
 			return err
 		}
 		s.files[s.active].seal = true
@@ -236,12 +278,16 @@ func (s *Store) rotateLocked() error {
 	id := s.nextID
 	w, err := s.fs.Create(filename(id))
 	if err != nil {
+		end(err)
 		return err
 	}
 	s.nextID++
 	s.active = id
 	s.writer = w
 	s.files[id] = &fileInfo{}
+	s.met.rotations.Inc()
+	s.met.files.Set(int64(len(s.files)))
+	end(nil)
 	return nil
 }
 
@@ -282,12 +328,16 @@ func (s *Store) appendLocked(buf []byte) (Ref, time.Duration, error) {
 	fi := s.files[s.active]
 	fi.total += int64(len(buf))
 	fi.live += int64(len(buf))
+	s.appended += int64(len(buf))
+	s.met.appends.Inc()
+	s.met.appendBytes.Add(int64(len(buf)))
 	return Ref{File: s.active, Off: off, Len: uint32(len(buf))}, cost, nil
 }
 
 // Read fetches and decodes the record at ref. Reads are tracked so the
 // lazy GC policy can defer collection while reads are in flight.
 func (s *Store) Read(ref Ref) (Record, time.Duration, error) {
+	s.met.reads.Inc()
 	s.mu.Lock()
 	s.readers++
 	s.mu.Unlock()
@@ -353,6 +403,7 @@ func (s *Store) Sync() (time.Duration, error) {
 	if s.writer == nil {
 		return 0, nil
 	}
+	s.met.fsyncs.Inc()
 	return s.writer.Sync()
 }
 
@@ -383,20 +434,22 @@ func (s *Store) Files() []uint32 {
 
 // Stats summarizes store and GC state.
 type Stats struct {
-	Files      int
-	TotalBytes int64 // sum of record bytes across files
-	LiveBytes  int64
-	DiskBytes  int64 // physical flash occupied (page-padded)
-	GCRuns     int64
-	GCMoved    int64 // bytes re-appended during GC
-	GCFreed    int64 // record bytes in files erased by GC
+	Files         int
+	TotalBytes    int64 // sum of record bytes across files
+	LiveBytes     int64
+	DiskBytes     int64 // physical flash occupied (page-padded)
+	AppendedBytes int64 // lifetime record bytes appended (incl. GC re-appends)
+	GCRuns        int64
+	GCMoved       int64 // bytes re-appended during GC
+	GCFreed       int64 // record bytes in files erased by GC
 }
 
 // Stats returns current statistics.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{Files: len(s.files), GCRuns: s.gcRuns, GCMoved: s.gcMoved, GCFreed: s.gcFreed}
+	st := Stats{Files: len(s.files), AppendedBytes: s.appended,
+		GCRuns: s.gcRuns, GCMoved: s.gcMoved, GCFreed: s.gcFreed}
 	for _, fi := range s.files {
 		st.TotalBytes += fi.total
 		st.LiveBytes += fi.live
@@ -576,6 +629,10 @@ func (s *Store) CollectFile(id uint32, judge Judge, relocated Relocated) (int64,
 			s.gcPending = 0
 		}
 	}
+	s.met.gcCollects.Inc()
+	s.met.gcMoved.Add(moved)
+	s.met.gcFreed.Add(total)
+	s.met.files.Set(int64(len(s.files)))
 	s.mu.Unlock()
 	return total - moved, cost, nil
 }

@@ -1,0 +1,53 @@
+package bifrost
+
+import "directload/internal/metrics"
+
+// dedupMetrics holds the deduper's registry handles; all nil without a
+// registry, making every record site a guarded no-op.
+type dedupMetrics struct {
+	keys        *metrics.Counter
+	hits        *metrics.Counter
+	bytes       *metrics.Counter
+	bytesElided *metrics.Counter
+}
+
+// SetMetrics attaches a registry to the deduper. Call before Process;
+// nil detaches (subsequent observations are no-ops).
+func (d *Deduper) SetMetrics(reg *metrics.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.met = dedupMetrics{
+		keys:        reg.Counter("bifrost.dedup.keys"),
+		hits:        reg.Counter("bifrost.dedup.hits"),
+		bytes:       reg.Counter("bifrost.dedup.bytes"),
+		bytesElided: reg.Counter("bifrost.dedup.bytes_elided"),
+	}
+}
+
+// shipMetrics holds the shipper's registry handles.
+type shipMetrics struct {
+	slices       *metrics.Counter
+	deliveries   *metrics.Counter
+	bytesSent    *metrics.Counter
+	payloadBytes *metrics.Counter
+	retransmits  *metrics.Counter
+	checksumFail *metrics.Counter
+	repairs      *metrics.Counter
+	detours      *metrics.Counter
+}
+
+// SetMetrics attaches a registry to the shipper. The shipper is driven
+// from the netsim event loop (single goroutine), so no locking is
+// needed beyond the registry's own.
+func (s *Shipper) SetMetrics(reg *metrics.Registry) {
+	s.met = shipMetrics{
+		slices:       reg.Counter("bifrost.ship.slices"),
+		deliveries:   reg.Counter("bifrost.ship.deliveries"),
+		bytesSent:    reg.Counter("bifrost.ship.bytes_sent"),
+		payloadBytes: reg.Counter("bifrost.ship.payload_bytes"),
+		retransmits:  reg.Counter("bifrost.ship.retransmits"),
+		checksumFail: reg.Counter("bifrost.ship.checksum_failures"),
+		repairs:      reg.Counter("bifrost.ship.repairs"),
+		detours:      reg.Counter("bifrost.ship.backbone_detours"),
+	}
+}

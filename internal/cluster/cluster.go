@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"directload/internal/bifrost"
+	"directload/internal/metrics"
 	"directload/internal/mint"
 	"directload/internal/netsim"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	CorruptProb float64
 	// Seed drives failure injection.
 	Seed int64
+	// Metrics, when non-nil, receives the orchestrator's `cluster.*`
+	// metrics and is propagated to the shipper, the deduper and (unless
+	// already set) the Mint clusters. Nil keeps all paths allocation-free.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a small, structurally faithful deployment.
@@ -102,6 +107,26 @@ type DirectLoad struct {
 	DCs     map[netsim.NodeID]*DataCenter
 
 	versions []uint64 // published versions in order
+	reg      *metrics.Registry
+	met      orchestratorMetrics
+}
+
+// orchestratorMetrics holds the cluster-level registry handles; all nil
+// without a registry, making every record site a guarded no-op.
+type orchestratorMetrics struct {
+	published     *metrics.Counter
+	slicesApplied *metrics.Counter
+	lateDelivs    *metrics.Counter
+	replLagUs     *metrics.Gauge
+}
+
+func newOrchestratorMetrics(reg *metrics.Registry) orchestratorMetrics {
+	return orchestratorMetrics{
+		published:     reg.Counter("cluster.versions.published"),
+		slicesApplied: reg.Counter("cluster.slices.applied"),
+		lateDelivs:    reg.Counter("cluster.deliveries.late"),
+		replLagUs:     reg.Gauge("cluster.replication.lag_us"),
+	}
 }
 
 // New builds the fabric and one Mint cluster per data center.
@@ -111,6 +136,9 @@ func New(cfg Config) (*DirectLoad, error) {
 	}
 	if cfg.RetainVersions <= 0 {
 		cfg.RetainVersions = 4
+	}
+	if cfg.Mint.Metrics == nil {
+		cfg.Mint.Metrics = cfg.Metrics
 	}
 	top, err := bifrost.BuildTopology(cfg.Topology)
 	if err != nil {
@@ -122,8 +150,14 @@ func New(cfg Config) (*DirectLoad, error) {
 		Shipper: bifrost.NewShipper(top, cfg.Seed),
 		Deduper: bifrost.NewDeduper(),
 		DCs:     make(map[netsim.NodeID]*DataCenter),
+		reg:     cfg.Metrics,
+		met:     newOrchestratorMetrics(cfg.Metrics),
 	}
 	d.Shipper.CorruptProb = cfg.CorruptProb
+	if cfg.Metrics != nil {
+		d.Shipper.SetMetrics(cfg.Metrics)
+		d.Deduper.SetMetrics(cfg.Metrics)
+	}
 	for _, region := range top.Regions {
 		for i, id := range region.DCs {
 			store, err := mint.New(cfg.Mint)
@@ -178,6 +212,9 @@ type UpdateReport struct {
 	// StorageByDC is per-data-center apply time; the slowest DC is the
 	// storage-side critical path of the update.
 	StorageByDC map[netsim.NodeID]time.Duration
+	// ReadyAt records when (virtual time) each DC finished loading the
+	// version; the max-min spread is the cross-DC replication lag.
+	ReadyAt map[netsim.NodeID]time.Duration
 }
 
 // EffectiveTime is the update's critical path: network delivery overlaps
@@ -210,12 +247,15 @@ func (d *DirectLoad) dcsForStream(region bifrost.Region, stream bifrost.StreamTy
 // deduplicate, slice, ship to every data center, apply on arrival, and
 // wait (in virtual time) until every DC has loaded the version. The
 // retention policy then drops versions beyond the configured limit.
-func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (UpdateReport, error) {
+func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep UpdateReport, err error) {
+	end := d.reg.Span("cluster.publish")
+	defer func() { end(err) }()
 	start := d.Top.Net.Now()
-	rep := UpdateReport{
+	rep = UpdateReport{
 		Version:     version,
 		Keys:        len(entries),
 		StorageByDC: make(map[netsim.NodeID]time.Duration),
+		ReadyAt:     make(map[netsim.NodeID]time.Duration),
 	}
 
 	// Bifrost: dedup and pack per stream.
@@ -261,6 +301,7 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (UpdateRepo
 	for _, dc := range d.DCs {
 		if dc.expected[version] == 0 {
 			dc.state[version] = VersionReady
+			rep.ReadyAt[dc.ID] = start
 		}
 	}
 	for _, region := range d.Top.Regions {
@@ -295,6 +336,10 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (UpdateRepo
 	rep.UpdateTime = d.Top.Net.Now() - start
 	rep.Dedup = d.Deduper.AdvanceVersion()
 	rep.MissRatio = d.Shipper.MissRatio()
+	d.met.published.Inc()
+	if lag := rep.replicationLag(); lag >= 0 {
+		d.met.replLagUs.Set(int64(lag / time.Microsecond))
+	}
 
 	// Retention: drop the oldest versions beyond the cap, cluster-wide.
 	for len(d.versions) > d.cfg.RetainVersions {
@@ -315,6 +360,30 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (UpdateRepo
 	return rep, nil
 }
 
+// replicationLag is the spread between the first and last DC to finish
+// loading the version, or -1 when fewer than two DCs took part.
+func (r UpdateReport) replicationLag() time.Duration {
+	if len(r.ReadyAt) < 2 {
+		return -1
+	}
+	first := true
+	var min, max time.Duration
+	for _, t := range r.ReadyAt {
+		if first {
+			min, max = t, t
+			first = false
+			continue
+		}
+		if t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return max - min
+}
+
 // applySlice loads one delivered slice into the receiving DC's store.
 func (d *DirectLoad) applySlice(del bifrost.Delivery, version uint64, rep *UpdateReport) {
 	dc, ok := d.DCs[del.DC]
@@ -329,9 +398,14 @@ func (d *DirectLoad) applySlice(del bifrost.Delivery, version uint64, rep *Updat
 			dc.applyErr = fmt.Errorf("cluster: applying at %s: %w", dc.ID, err)
 		}
 	}
+	d.met.slicesApplied.Inc()
+	if del.Late(d.Shipper.Deadline) {
+		d.met.lateDelivs.Inc()
+	}
 	dc.arrived[version]++
 	if dc.arrived[version] >= dc.expected[version] {
 		dc.state[version] = VersionReady
+		rep.ReadyAt[dc.ID] = del.Arrived
 	}
 }
 

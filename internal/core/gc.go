@@ -32,7 +32,10 @@ func (db *DB) CollectOnce() (time.Duration, error) {
 	if len(cands) == 0 {
 		return 0, nil
 	}
-	_, cost, err := db.store.CollectFile(cands[0], db.gcJudge, db.gcRelocated)
+	end := db.reg.Span("gc.cycle")
+	reclaimed, cost, err := db.store.CollectFile(cands[0], db.gcJudge, db.gcRelocated)
+	end(err)
+	db.met.gcReclaimed.Add(reclaimed)
 	return cost, err
 }
 
@@ -51,7 +54,10 @@ func (db *DB) CollectAll() (time.Duration, error) {
 			db.mu.Unlock()
 			return total, nil
 		}
-		_, cost, err := db.store.CollectFile(cands[0], db.gcJudge, db.gcRelocated)
+		end := db.reg.Span("gc.cycle")
+		reclaimed, cost, err := db.store.CollectFile(cands[0], db.gcJudge, db.gcRelocated)
+		end(err)
+		db.met.gcReclaimed.Add(reclaimed)
 		db.mu.Unlock()
 		total += cost
 		if err != nil {
@@ -94,6 +100,7 @@ func (db *DB) gcJudge(rec *aof.Record, ref aof.Ref) bool {
 		return true
 	}
 	db.table.Delete(ik)
+	db.met.memBytes.Add(-(int64(len(ik.key)) + memItemOverhead))
 	return false
 }
 

@@ -51,7 +51,9 @@ func (db *DB) maybeCheckpointLocked() (time.Duration, error) {
 	return db.checkpointLocked()
 }
 
-func (db *DB) checkpointLocked() (time.Duration, error) {
+func (db *DB) checkpointLocked() (cost time.Duration, err error) {
+	end := db.reg.Span("qindb.checkpoint")
+	defer func() { end(err) }()
 	floor := db.maxSeq
 	// Every mutation appends a record and advances maxSeq, so an existing
 	// checkpoint at this floor already holds an identical image.
@@ -88,7 +90,6 @@ func (db *DB) checkpointLocked() (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
-	var cost time.Duration
 	_, c, err := w.Append([]byte(ckptMagic))
 	cost += c
 	if err == nil {

@@ -18,7 +18,9 @@ import (
 	"time"
 )
 
-// Counter is a monotonically increasing 64-bit counter.
+// Counter is a monotonically increasing 64-bit counter. All methods are
+// no-ops on a nil receiver, so instrumented code can hold nil handles
+// (from a nil Registry) and stay allocation-free on the hot path.
 type Counter struct {
 	v atomic.Int64
 }
@@ -26,49 +28,85 @@ type Counter struct {
 // Add increments the counter by n. Negative n is ignored: counters are
 // monotonic by contract.
 func (c *Counter) Add(n int64) {
-	if n < 0 {
+	if c == nil || n < 0 {
 		return
 	}
 	c.v.Add(n)
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
 
 // Load returns the current value.
-func (c *Counter) Load() int64 { return c.v.Load() }
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
 
 // Reset sets the counter back to zero and returns the previous value.
-func (c *Counter) Reset() int64 { return c.v.Swap(0) }
+func (c *Counter) Reset() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Swap(0)
+}
 
 // Gauge is a 64-bit value that may go up and down (e.g. live bytes).
+// Methods are no-ops on a nil receiver.
 type Gauge struct {
 	v atomic.Int64
 }
 
 // Add adjusts the gauge by n (which may be negative).
-func (g *Gauge) Add(n int64) { g.v.Add(n) }
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
 
 // Set stores v.
-func (g *Gauge) Set(v int64) { g.v.Store(v) }
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
 
 // Load returns the current value.
-func (g *Gauge) Load() int64 { return g.v.Load() }
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
 
 // Histogram records observations and answers percentile queries. It keeps
 // exact values up to a bounded reservoir size; once full it switches to
 // uniform reservoir sampling, which is plenty for p99/p99.9 on the run
-// lengths used in the experiments.
+// lengths used in the experiments. Observe and the query methods are
+// no-ops (returning zeros) on a nil receiver.
+//
+// The reservoir itself is never reordered: algorithm R's replacement
+// index addresses arrival order, so quantile queries sort a cached copy
+// instead of the live slice.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []float64
+	sorted  []float64 // cached sorted copy of samples; nil when stale
 	count   int64
 	sum     float64
 	min     float64
 	max     float64
 	limit   int
 	rng     uint64 // xorshift state for reservoir sampling
-	sorted  bool
 }
 
 // NewHistogram returns a histogram with the given reservoir capacity.
@@ -87,6 +125,9 @@ func NewHistogram(capacity int) *Histogram {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.count++
@@ -97,7 +138,7 @@ func (h *Histogram) Observe(v float64) {
 	if v > h.max {
 		h.max = v
 	}
-	h.sorted = false
+	h.sorted = nil
 	if len(h.samples) < h.limit {
 		h.samples = append(h.samples, v)
 		return
@@ -114,6 +155,9 @@ func (h *Histogram) Observe(v float64) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
@@ -121,6 +165,9 @@ func (h *Histogram) Count() int64 {
 
 // Mean returns the arithmetic mean of all observations, or 0 if empty.
 func (h *Histogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
@@ -131,6 +178,9 @@ func (h *Histogram) Mean() float64 {
 
 // Min returns the smallest observation, or 0 if empty.
 func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
@@ -141,6 +191,9 @@ func (h *Histogram) Min() float64 {
 
 // Max returns the largest observation, or 0 if empty.
 func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.count == 0 {
@@ -149,54 +202,83 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) over the sampled
-// observations using nearest-rank interpolation. Returns 0 when empty.
-func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+// sortedLocked returns a sorted view of the reservoir, rebuilding the
+// cached copy if observations arrived since the last query. The live
+// samples slice is never reordered (reservoir replacement addresses
+// arrival order). Runs with h.mu held.
+func (h *Histogram) sortedLocked() []float64 {
+	if h.sorted == nil {
+		h.sorted = append([]float64(nil), h.samples...)
+		sort.Float64s(h.sorted)
+	}
+	return h.sorted
+}
+
+// quantileSorted computes the q-quantile over a sorted sample set using
+// nearest-rank interpolation. Returns 0 when empty.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
-	}
 	if q <= 0 {
-		return h.samples[0]
+		return sorted[0]
 	}
 	if q >= 1 {
-		return h.samples[len(h.samples)-1]
+		return sorted[len(sorted)-1]
 	}
-	pos := q * float64(len(h.samples)-1)
+	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return h.samples[lo]
+		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return h.samples[lo]*(1-frac) + h.samples[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) over the sampled
+// observations using nearest-rank interpolation. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantileSorted(h.sortedLocked(), q)
 }
 
 // Snapshot bundles the latency statistics the paper reports in Fig. 8.
 type Snapshot struct {
-	Count int64
-	Mean  float64
-	P50   float64
-	P99   float64
-	P999  float64
-	Max   float64
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
 }
 
-// Snapshot returns the current summary statistics.
+// Snapshot returns the current summary statistics. All fields are read
+// under one lock acquisition, so the result is internally consistent: a
+// concurrent Observe can never yield e.g. P99 > Max.
 func (h *Histogram) Snapshot() Snapshot {
-	return Snapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Quantile(0.50),
-		P99:   h.Quantile(0.99),
-		P999:  h.Quantile(0.999),
-		Max:   h.Max(),
+	if h == nil {
+		return Snapshot{}
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := Snapshot{Count: h.count}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = h.sum / float64(h.count)
+	s.Min = h.min
+	s.Max = h.max
+	sorted := h.sortedLocked()
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P99 = quantileSorted(sorted, 0.99)
+	s.P999 = quantileSorted(sorted, 0.999)
+	return s
 }
 
 // String renders the snapshot in the style used by EXPERIMENTS.md.
@@ -291,6 +373,7 @@ type ThroughputWindow struct {
 	window   time.Duration
 	start    time.Duration // current window start on the supplied clock
 	bytes    int64
+	skipped  int64 // idle windows elided from the series
 	series   *Series
 	anchored bool
 }
@@ -305,9 +388,19 @@ func NewThroughputWindow(window time.Duration, series *Series) *ThroughputWindow
 }
 
 // Record adds n bytes at time now (any monotonically non-decreasing clock,
-// e.g. the SSD simulator's virtual clock). Whenever now crosses a window
-// boundary, one sample per fully elapsed window is appended to the series
-// as (windowEndMinutes, MB/s).
+// e.g. the SSD simulator's virtual clock). When now crosses a window
+// boundary, the just-closed window is appended to the series as
+// (windowEndMinutes, MB/s).
+//
+// Idle gaps are elided: if more than one whole window elapsed with no
+// recorded bytes, the closed window is emitted (possibly as a single
+// zero sample marking the gap's start) and the remaining empty windows
+// are skipped in one step rather than appended as a run of zero points.
+// This deviates from the strict Fig. 5/6 per-minute semantics — those
+// plots show a contiguous minute axis — but a long idle stretch on a
+// real clock would otherwise flood the series with thousands of zeros.
+// SkippedWindows reports how many windows were elided, so a renderer can
+// reconstruct the contiguous axis if needed.
 func (t *ThroughputWindow) Record(now time.Duration, n int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -315,10 +408,23 @@ func (t *ThroughputWindow) Record(now time.Duration, n int64) {
 		t.start = now
 		t.anchored = true
 	}
-	for now-t.start >= t.window {
+	if now-t.start >= t.window {
 		t.flushLocked()
+		if gap := now - t.start; gap >= t.window {
+			skip := int64(gap / t.window)
+			t.start += time.Duration(skip) * t.window
+			t.skipped += skip
+		}
 	}
 	t.bytes += n
+}
+
+// SkippedWindows returns how many fully idle windows were elided from
+// the series (see Record).
+func (t *ThroughputWindow) SkippedWindows() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.skipped
 }
 
 // Flush emits the current partial window if it holds any bytes.

@@ -215,19 +215,140 @@ func TestThroughputWindowFlushPartial(t *testing.T) {
 }
 
 func TestThroughputWindowGap(t *testing.T) {
-	// A long quiet gap must emit zero-valued windows, not one huge window.
+	// A long quiet gap is elided: the closed window flushes normally and
+	// the idle windows are skipped in one step instead of being appended
+	// as a run of zero points (a real-clock idle hour would otherwise
+	// add thousands of samples).
 	var s Series
 	w := NewThroughputWindow(time.Minute, &s)
 	w.Record(0, 1<<20)
 	w.Record(5*time.Minute, 1<<20)
 	xs, ys := s.Points()
-	if len(xs) != 5 {
-		t.Fatalf("series len = %d, want 5", len(xs))
+	if len(xs) != 1 {
+		t.Fatalf("series len = %d, want 1 (%v/%v)", len(xs), xs, ys)
 	}
-	for i := 1; i < 5; i++ {
-		if ys[i] != 0 {
-			t.Fatalf("gap window %d throughput = %v, want 0", i, ys[i])
+	if xs[0] != 1 {
+		t.Fatalf("window end = %v min, want 1", xs[0])
+	}
+	if got := w.SkippedWindows(); got != 4 {
+		t.Fatalf("SkippedWindows() = %d, want 4", got)
+	}
+	// The second record lands in the window containing its timestamp.
+	w.Flush()
+	xs, _ = s.Points()
+	if len(xs) != 2 || xs[1] != 6 {
+		t.Fatalf("after flush xs = %v, want [1 6]", xs)
+	}
+}
+
+func TestThroughputWindowGapZeroMarker(t *testing.T) {
+	// When the open window itself was empty, the flush emits a single
+	// zero sample marking the start of the gap before skipping the rest.
+	var s Series
+	w := NewThroughputWindow(time.Minute, &s)
+	w.Record(0, 1<<20)
+	w.Record(time.Minute, 0)        // flushes window 1 (1 MiB)
+	w.Record(10*time.Minute, 1<<20) // window 2 empty: zero marker + skip
+	xs, ys := s.Points()
+	if len(xs) != 2 {
+		t.Fatalf("series len = %d, want 2 (%v/%v)", len(xs), xs, ys)
+	}
+	if ys[1] != 0 || xs[1] != 2 {
+		t.Fatalf("gap marker = (%v, %v), want (2, 0)", xs[1], ys[1])
+	}
+	if got := w.SkippedWindows(); got != 8 {
+		t.Fatalf("SkippedWindows() = %d, want 8", got)
+	}
+}
+
+func TestQuantilePreservesReservoirOrder(t *testing.T) {
+	// Quantile must sort a copy: the reservoir's arrival order is what
+	// algorithm R's replacement index addresses, and sorting it in place
+	// would make replacement non-uniform over arrival order.
+	h := NewHistogram(8)
+	in := []float64{5, 3, 9, 1, 7, 2, 8, 4}
+	for _, v := range in {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got == 0 {
+		t.Fatalf("Quantile(0.5) = %v", got)
+	}
+	for i, v := range h.samples {
+		if v != in[i] {
+			t.Fatalf("samples reordered by Quantile: %v, want %v", h.samples, in)
 		}
+	}
+	// Replacement after a query still targets arrival positions.
+	for i := 0; i < 1000; i++ {
+		h.Observe(100)
+		h.Quantile(0.99)
+	}
+	if got := h.Count(); got != 1008 {
+		t.Fatalf("Count() = %d, want 1008", got)
+	}
+}
+
+func TestHistogramSnapshotConsistentUnderConcurrency(t *testing.T) {
+	// Snapshot reads all fields under one lock acquisition; interleaved
+	// observations must never yield an internally inconsistent summary
+	// such as P99 > Max.
+	h := NewHistogram(512)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := float64(g)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(v)
+				v = math.Mod(v*1.7+3, 1000)
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if !(s.Min <= s.P50 && s.P50 <= s.P99 && s.P99 <= s.P999 && s.P999 <= s.Max) {
+			t.Errorf("inconsistent snapshot: %+v", s)
+			break
+		}
+		if s.Mean < s.Min || s.Mean > s.Max {
+			t.Errorf("mean out of range: %+v", s)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("nil histogram should report zeros")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil Snapshot = %+v", s)
+	}
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Load() != 0 || c.Reset() != 0 {
+		t.Fatal("nil counter should be a no-op")
+	}
+	var g *Gauge
+	g.Set(5)
+	g.Add(1)
+	if g.Load() != 0 {
+		t.Fatal("nil gauge should be a no-op")
 	}
 }
 

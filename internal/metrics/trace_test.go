@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerSpanBasics(t *testing.T) {
+	tr := NewTracer(16)
+	end := tr.Span("gc.cycle")
+	end(nil)
+	end2 := tr.Span("aof.rotate")
+	end2(errors.New("boom"))
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Spans() len = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "gc.cycle" || spans[0].Err != "" || spans[0].Dur < 0 {
+		t.Fatalf("span 0 = %+v", spans[0])
+	}
+	if spans[1].Name != "aof.rotate" || spans[1].Err != "boom" {
+		t.Fatalf("span 1 = %+v", spans[1])
+	}
+	if tr.Count() != 2 {
+		t.Fatalf("Count() = %d, want 2", tr.Count())
+	}
+	lat := tr.Latencies()
+	if lat["gc.cycle"].Count != 1 || lat["aof.rotate"].Count != 1 {
+		t.Fatalf("Latencies() = %+v", lat)
+	}
+}
+
+func TestTracerRingWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Span(fmt.Sprintf("s%d", i))(nil)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("Spans() len = %d, want 4", len(spans))
+	}
+	// The ring retains the newest 4 in chronological order.
+	for i, want := range []string{"s6", "s7", "s8", "s9"} {
+		if spans[i].Name != want {
+			t.Fatalf("span %d = %q, want %q (all: %+v)", i, spans[i].Name, want, spans)
+		}
+	}
+	if tr.Count() != 10 {
+		t.Fatalf("Count() = %d, want 10", tr.Count())
+	}
+	// Latency histograms survive ring eviction.
+	if lat := tr.Latencies(); lat["s0"].Count != 1 {
+		t.Fatalf("evicted span lost its latency record: %+v", lat)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				end := tr.Span("hot")
+				end(nil)
+				if i%50 == 0 {
+					tr.Spans()
+					tr.Latencies()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Count() != 1600 {
+		t.Fatalf("Count() = %d, want 1600", tr.Count())
+	}
+	if got := tr.Latencies()["hot"].Count; got != 1600 {
+		t.Fatalf("latency count = %d, want 1600", got)
+	}
+	if len(tr.Spans()) != 64 {
+		t.Fatalf("ring should be full at 64, got %d", len(tr.Spans()))
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	end := tr.Span("x")
+	end(nil) // must not panic
+	if tr.Count() != 0 || tr.Spans() != nil || tr.Latencies() != nil {
+		t.Fatal("nil tracer should report empty state")
+	}
+}
+
+func TestTracerWriteTo(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Span("recovery.scan")(nil)
+	tr.Span("gc.cycle")(errors.New("nope"))
+	var sb strings.Builder
+	if _, err := tr.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"span gc.cycle count=1", "span recovery.scan count=1", "err=nope"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteTo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySpanDelegation(t *testing.T) {
+	r := NewRegistry()
+	r.Span("checkpoint.write")(nil)
+	if r.Tracer().Count() != 1 {
+		t.Fatalf("registry tracer count = %d, want 1", r.Tracer().Count())
+	}
+}

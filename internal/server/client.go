@@ -150,6 +150,22 @@ func (c *Client) Stats() (StatsReply, error) {
 	return out, err
 }
 
+// Metrics fetches the server's metrics registry snapshot. Counter and
+// gauge values decode as float64; histograms as nested maps (count,
+// mean, p50, p99, ...). An uninstrumented server returns an empty map.
+func (c *Client) Metrics() (map[string]any, error) {
+	status, payload, err := c.roundTrip(request{Op: OpMetrics})
+	if err != nil {
+		return nil, err
+	}
+	if err := statusErr(status, payload); err != nil {
+		return nil, err
+	}
+	out := make(map[string]any)
+	err = json.Unmarshal(payload, &out)
+	return out, err
+}
+
 // Ping checks liveness.
 func (c *Client) Ping() error {
 	status, payload, err := c.roundTrip(request{Op: OpPing})

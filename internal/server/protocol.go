@@ -12,7 +12,9 @@
 //
 // For OpStats the payload is a JSON-encoded StatsReply. For OpRange the
 // request value holds the exclusive upper bound key and the response
-// payload packs keyLen u16 | key | version u64 triples.
+// payload packs keyLen u16 | key | version u64 triples. For OpMetrics
+// the payload is the JSON encoding of the server's metrics registry
+// snapshot ({} when the server runs uninstrumented).
 package server
 
 import (
@@ -33,7 +35,15 @@ const (
 	OpStats
 	OpRange
 	OpPing
+	OpMetrics
 )
+
+// opNames labels ops for per-opcode metric names.
+var opNames = [OpMetrics + 1]string{
+	OpPut: "put", OpPutDedup: "putd", OpGet: "get", OpDel: "del",
+	OpDropVersion: "drop", OpHas: "has", OpStats: "stats",
+	OpRange: "range", OpPing: "ping", OpMetrics: "metrics",
+}
 
 // Response statuses.
 const (

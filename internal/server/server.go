@@ -6,8 +6,10 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"directload/internal/core"
+	"directload/internal/metrics"
 )
 
 // StatsReply is the JSON payload of OpStats.
@@ -27,6 +29,35 @@ type Server struct {
 	closed   bool
 	logf     func(format string, args ...any)
 	rangeCap int
+
+	reg *metrics.Registry
+	met serverMetrics
+}
+
+// serverMetrics holds per-opcode request counters and wall-clock latency
+// histograms, indexed by opcode. All handles nil without a registry.
+type serverMetrics struct {
+	reqs    [OpMetrics + 1]*metrics.Counter
+	lat     [OpMetrics + 1]*metrics.Histogram
+	badReqs *metrics.Counter
+	conns   *metrics.Gauge
+}
+
+// SetMetrics attaches a registry (exported via OpMetrics and, in qindbd,
+// HTTP). Call before Serve; nil leaves the server uninstrumented.
+func (s *Server) SetMetrics(reg *metrics.Registry) {
+	s.reg = reg
+	if reg == nil {
+		s.met = serverMetrics{}
+		return
+	}
+	for op := OpPut; op <= OpMetrics; op++ {
+		name := opNames[op]
+		s.met.reqs[op] = reg.Counter("server.req." + name)
+		s.met.lat[op] = reg.Histogram("server.req." + name + ".latency_us")
+	}
+	s.met.badReqs = reg.Counter("server.req.bad")
+	s.met.conns = reg.Gauge("server.conns.active")
 }
 
 // New wraps an engine. The caller keeps ownership of db and must close
@@ -133,6 +164,8 @@ func (s *Server) dropConn(c net.Conn) {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.met.conns.Add(1)
+	defer s.met.conns.Add(-1)
 	defer s.dropConn(conn)
 	for {
 		frame, err := readFrame(conn)
@@ -142,6 +175,7 @@ func (s *Server) handle(conn net.Conn) {
 		req, err := decodeRequest(frame)
 		var resp []byte
 		if err != nil {
+			s.met.badReqs.Inc()
 			resp = encodeResponse(StatusError, []byte(err.Error()))
 		} else {
 			resp = s.dispatch(req)
@@ -152,8 +186,22 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// dispatch executes one request against the engine.
+// dispatch executes one request against the engine, timing it with the
+// wall clock (the client-visible latency, unlike the engine's simulated
+// device cost).
 func (s *Server) dispatch(req request) []byte {
+	if req.Op < OpPut || req.Op > OpMetrics {
+		s.met.badReqs.Inc()
+		return encodeResponse(StatusError, []byte("unknown op"))
+	}
+	start := time.Now()
+	resp := s.dispatchOp(req)
+	s.met.reqs[req.Op].Inc()
+	s.met.lat[req.Op].Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	return resp
+}
+
+func (s *Server) dispatchOp(req request) []byte {
 	switch req.Op {
 	case OpPing:
 		return encodeResponse(StatusOK, []byte("pong"))
@@ -198,6 +246,15 @@ func (s *Server) dispatch(req request) []byte {
 			return len(entries) < limit
 		})
 		return encodeResponse(StatusOK, encodeRangeEntries(entries))
+	case OpMetrics:
+		if s.reg == nil {
+			return encodeResponse(StatusOK, []byte("{}"))
+		}
+		payload, err := json.Marshal(s.reg)
+		if err != nil {
+			return errResponse(err)
+		}
+		return encodeResponse(StatusOK, payload)
 	default:
 		return encodeResponse(StatusError, []byte("unknown op"))
 	}

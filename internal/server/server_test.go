@@ -13,10 +13,15 @@ import (
 	"directload/internal/aof"
 	"directload/internal/blockfs"
 	"directload/internal/core"
+	"directload/internal/metrics"
 	"directload/internal/ssd"
 )
 
 func startServer(t *testing.T) (*Server, *Client) {
+	return startServerReg(t, nil)
+}
+
+func startServerReg(t *testing.T, reg *metrics.Registry) (*Server, *Client) {
 	t.Helper()
 	dev, err := ssd.NewDevice(ssd.DefaultConfig(256 << 20))
 	if err != nil {
@@ -24,12 +29,14 @@ func startServer(t *testing.T) (*Server, *Client) {
 	}
 	db, err := core.Open(blockfs.NewNativeFS(dev), core.Options{
 		AOF: aof.Config{FileSize: 4 << 20, GCThreshold: 0.25}, Seed: 1,
+		Metrics: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := New(db)
 	s.SetLogf(nil)
+	s.SetMetrics(reg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -272,5 +279,65 @@ func TestQuickProtocolRoundTrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestOpMetricsRoundTrip(t *testing.T) {
+	reg := metrics.NewRegistry()
+	_, cl := startServerReg(t, reg)
+
+	for i := 0; i < 10; i++ {
+		key := []byte(fmt.Sprintf("mk-%02d", i))
+		if err := cl.Put(key, 1, []byte("payload"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Get([]byte("mk-00"), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine metrics flow through: histogram count matches the puts.
+	putLat, ok := m["qindb.put.latency_us"].(map[string]any)
+	if !ok || putLat["count"].(float64) != 10 {
+		t.Fatalf("qindb.put.latency_us = %#v", m["qindb.put.latency_us"])
+	}
+	if putLat["p99"].(float64) > putLat["max"].(float64) {
+		t.Fatalf("inconsistent snapshot over the wire: %#v", putLat)
+	}
+	// Server per-opcode counters.
+	if got, ok := m["server.req.put"].(float64); !ok || got != 10 {
+		t.Fatalf("server.req.put = %#v", m["server.req.put"])
+	}
+	if got, ok := m["server.req.get"].(float64); !ok || got != 1 {
+		t.Fatalf("server.req.get = %#v", m["server.req.get"])
+	}
+	// AOF metrics propagated through the engine's store.
+	if got, ok := m["aof.appends"].(float64); !ok || got < 10 {
+		t.Fatalf("aof.appends = %#v", m["aof.appends"])
+	}
+	// Software WA is present and finite (>= 1: the AOF framing adds
+	// bytes on top of the user payload).
+	wa, ok := m["qindb.software_wa"].(float64)
+	if !ok || wa < 1 || wa > 100 {
+		t.Fatalf("qindb.software_wa = %#v", m["qindb.software_wa"])
+	}
+	// Connection gauge counts this client.
+	if got, ok := m["server.conns.active"].(float64); !ok || got < 1 {
+		t.Fatalf("server.conns.active = %#v", m["server.conns.active"])
+	}
+}
+
+func TestOpMetricsUninstrumented(t *testing.T) {
+	_, cl := startServer(t)
+	m, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 0 {
+		t.Fatalf("uninstrumented server returned %v", m)
 	}
 }
