@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench clean
+.PHONY: build test race vet bench check clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ vet:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 100x ./...
+
+# Full pre-merge gate: compile, vet, unit tests, then the race detector
+# over the concurrency-heavy network and cluster packages.
+check: build vet test
+	$(GO) test -race ./internal/server/... ./internal/cluster/...
 
 clean:
 	$(GO) clean ./...

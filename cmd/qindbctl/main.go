@@ -6,11 +6,17 @@
 //	qindbctl -addr 127.0.0.1:7707 del  <key> <version>
 //	qindbctl -addr 127.0.0.1:7707 drop <version>
 //	qindbctl -addr 127.0.0.1:7707 range [<from> [<to>]]
+//	qindbctl -addr 127.0.0.1:7707 load <version>                # batched key<TAB>value lines from stdin
 //	qindbctl -addr 127.0.0.1:7707 stats
 //	qindbctl -addr 127.0.0.1:7707 ping
+//
+// -timeout bounds each operation (and the dial); load streams stdin
+// into OpBatch frames, one round trip per batch instead of per record.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,15 +24,20 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"directload/internal/server"
 )
 
-var addr = flag.String("addr", "127.0.0.1:7707", "qindbd address")
+var (
+	addr    = flag.String("addr", "127.0.0.1:7707", "qindbd address")
+	timeout = flag.Duration("timeout", 5*time.Second, "per-operation deadline (0 = none)")
+)
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] <put|putd|get|del|drop|range|stats|metrics|ping> [args]")
+	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] [-timeout 5s] <put|putd|get|del|drop|range|load|stats|metrics|ping> [args]")
+	fmt.Fprintln(os.Stderr, "       load <version>                  batched load of key<TAB>value lines from stdin")
 	fmt.Fprintln(os.Stderr, "       stats [-watch] [-interval 1s]   engine stats, or live metric deltas")
 	os.Exit(2)
 }
@@ -46,11 +57,12 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
-	cl, err := server.Dial(*addr)
+	cl, err := server.Dial(*addr, server.WithTimeout(*timeout))
 	if err != nil {
 		log.Fatalf("dial %s: %v", *addr, err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 
 	cmd, args := args[0], args[1:]
 	switch cmd {
@@ -58,7 +70,7 @@ func main() {
 		if len(args) != 3 {
 			usage()
 		}
-		if err := cl.Put([]byte(args[0]), parseVersion(args[1]), []byte(args[2]), false); err != nil {
+		if err := cl.PutContext(ctx, []byte(args[0]), parseVersion(args[1]), []byte(args[2]), false); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("OK")
@@ -66,7 +78,7 @@ func main() {
 		if len(args) != 2 {
 			usage()
 		}
-		if err := cl.Put([]byte(args[0]), parseVersion(args[1]), nil, true); err != nil {
+		if err := cl.PutContext(ctx, []byte(args[0]), parseVersion(args[1]), nil, true); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("OK")
@@ -74,7 +86,7 @@ func main() {
 		if len(args) != 2 {
 			usage()
 		}
-		val, err := cl.Get([]byte(args[0]), parseVersion(args[1]))
+		val, err := cl.GetContext(ctx, []byte(args[0]), parseVersion(args[1]))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,7 +96,7 @@ func main() {
 		if len(args) != 2 {
 			usage()
 		}
-		if err := cl.Del([]byte(args[0]), parseVersion(args[1])); err != nil {
+		if err := cl.DelContext(ctx, []byte(args[0]), parseVersion(args[1])); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("OK")
@@ -92,7 +104,7 @@ func main() {
 		if len(args) != 1 {
 			usage()
 		}
-		if err := cl.DropVersion(parseVersion(args[0])); err != nil {
+		if err := cl.DropVersionContext(ctx, parseVersion(args[0])); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("OK")
@@ -104,30 +116,38 @@ func main() {
 		if len(args) > 1 {
 			to = []byte(args[1])
 		}
-		entries, err := cl.Range(from, to, 1000)
+		entries, applied, err := cl.RangeContext(ctx, from, to, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, e := range entries {
 			fmt.Printf("%s\t@v%d\n", e.Key, e.Version)
 		}
+		if applied > 0 && len(entries) == applied {
+			fmt.Fprintf(os.Stderr, "(truncated at server limit %d)\n", applied)
+		}
+	case "load":
+		if len(args) != 1 {
+			usage()
+		}
+		loadStdin(ctx, cl, parseVersion(args[0]))
 	case "stats":
 		fs := flag.NewFlagSet("stats", flag.ExitOnError)
 		watch := fs.Bool("watch", false, "poll the server and print metric deltas until interrupted")
 		interval := fs.Duration("interval", time.Second, "poll interval with -watch")
 		fs.Parse(args)
 		if *watch {
-			watchStats(cl, *interval)
+			watchStats(ctx, cl, *interval)
 			return
 		}
-		st, err := cl.Stats()
+		st, err := cl.StatsContext(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
 		out, _ := json.MarshalIndent(st, "", "  ")
 		fmt.Println(string(out))
 	case "metrics":
-		m, err := cl.Metrics()
+		m, err := cl.MetricsContext(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -135,13 +155,43 @@ func main() {
 			fmt.Printf("%s %g\n", kv.name, kv.value)
 		}
 	case "ping":
-		if err := cl.Ping(); err != nil {
+		if err := cl.PingContext(ctx); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("pong")
 	default:
 		usage()
 	}
+}
+
+// loadStdin streams key<TAB>value lines into batched puts. A line
+// without a tab stores its whole content as the key with an empty
+// value.
+func loadStdin(ctx context.Context, cl *server.Client, version uint64) {
+	batch := cl.Batcher()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var n int
+	start := time.Now()
+	for sc.Scan() {
+		key, value, _ := strings.Cut(sc.Text(), "\t")
+		if key == "" {
+			continue
+		}
+		if err := batch.Put(ctx, []byte(key), version, []byte(value), false); err != nil {
+			log.Fatalf("line %d: %v", n+1, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if err := batch.Flush(ctx); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("loaded %d records @v%d in %s (%.0f/s)\n",
+		n, version, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds())
 }
 
 // metricKV is one flattened metric line.
@@ -173,14 +223,14 @@ func flattenMetrics(m map[string]any) []metricKV {
 
 // watchStats polls the server's metrics and renders per-interval deltas,
 // top-like, until the process is interrupted.
-func watchStats(cl *server.Client, interval time.Duration) {
+func watchStats(ctx context.Context, cl *server.Client, interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Second
 	}
 	prev := make(map[string]float64)
 	first := true
 	for {
-		m, err := cl.Metrics()
+		m, err := cl.MetricsContext(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,8 +8,12 @@
 //
 // Interact with it through internal/server.Client, e.g.:
 //
-//	cl, _ := server.Dial("127.0.0.1:7707")
-//	cl.Put([]byte("k"), 1, []byte("v"), false)
+//	cl, _ := server.Dial("127.0.0.1:7707", server.WithTimeout(2*time.Second))
+//	cl.PutContext(ctx, []byte("k"), 1, []byte("v"), false)
+//
+// Clients negotiate protocol v2 automatically and may pipeline or batch
+// requests; -max-inflight bounds how many the server dispatches
+// concurrently per connection.
 package main
 
 import (
@@ -28,12 +32,15 @@ import (
 )
 
 var (
-	addr        = flag.String("addr", "127.0.0.1:7707", "listen address")
-	capacity    = flag.Int64("capacity", 1<<30, "simulated SSD capacity in bytes")
-	aofSize     = flag.Int64("aof", 64<<20, "AOF file size in bytes (paper: 64 MB)")
-	gcThresh    = flag.Float64("gc", 0.25, "lazy GC occupancy threshold (paper: 0.25)")
-	ckpt        = flag.Int64("checkpoint", 256<<20, "auto-checkpoint every N bytes (0 = off)")
-	metricsAddr = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/trace (empty = off)")
+	addr         = flag.String("addr", "127.0.0.1:7707", "listen address")
+	capacity     = flag.Int64("capacity", 1<<30, "simulated SSD capacity in bytes")
+	aofSize      = flag.Int64("aof", 64<<20, "AOF file size in bytes (paper: 64 MB)")
+	gcThresh     = flag.Float64("gc", 0.25, "lazy GC occupancy threshold (paper: 0.25)")
+	ckpt         = flag.Int64("checkpoint", 256<<20, "auto-checkpoint every N bytes (0 = off)")
+	metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/trace (empty = off)")
+	maxInFlight  = flag.Int("max-inflight", 0, "concurrent requests dispatched per v2 connection (0 = default)")
+	readTimeout  = flag.Duration("read-timeout", 0, "per-frame read deadline, doubles as idle timeout (0 = none)")
+	writeTimeout = flag.Duration("write-timeout", 0, "per-frame write deadline (0 = none)")
 )
 
 // serveMetricsHTTP exposes the registry over HTTP: /metrics renders the
@@ -87,6 +94,10 @@ func main() {
 
 	s := server.New(db)
 	s.SetMetrics(reg)
+	if *maxInFlight > 0 {
+		s.SetMaxInFlight(*maxInFlight)
+	}
+	s.SetTimeouts(*readTimeout, *writeTimeout)
 	if *metricsAddr != "" {
 		go serveMetricsHTTP(*metricsAddr, reg)
 	}

@@ -106,6 +106,15 @@ type (
 	Node = server.Server
 	// NodeClient is the matching client.
 	NodeClient = server.Client
+	// NodeDialOption configures DialNode (timeouts, pool size,
+	// pipelining depth).
+	NodeDialOption = server.DialOption
+	// NodeMirror fans published versions out to remote storage nodes.
+	NodeMirror = cluster.Mirror
+	// NodeFuture is one in-flight pipelined operation (Client.Pipeline).
+	NodeFuture = server.Future
+	// NodeBatchError reports which sub-ops of a batch flush failed.
+	NodeBatchError = server.BatchError
 )
 
 // Common sentinel errors, re-exported for errors.Is checks.
@@ -252,5 +261,35 @@ func DefaultGeneratorConfig() GeneratorConfig { return workload.DefaultKVConfig(
 // daemon). The caller retains ownership of the store.
 func NewNode(db *Store) *Node { return server.New(db) }
 
-// DialNode connects to a serving Node.
-func DialNode(addr string) (*NodeClient, error) { return server.Dial(addr) }
+// DialNode connects to a serving Node, negotiating the newest protocol
+// both sides speak (old servers fall back to v1 transparently). Options
+// tune deadlines, pooling and pipelining:
+//
+//	cl, err := directload.DialNode(addr,
+//	        directload.WithDialTimeout(2*time.Second),
+//	        directload.WithDialPoolSize(4))
+func DialNode(addr string, opts ...NodeDialOption) (*NodeClient, error) {
+	return server.Dial(addr, opts...)
+}
+
+// WithDialTimeout sets the default per-operation deadline for a dialed
+// node client, applied whenever a call's context carries none.
+func WithDialTimeout(d time.Duration) NodeDialOption { return server.WithTimeout(d) }
+
+// WithDialPoolSize makes DialNode open n connections and spread
+// requests across them.
+func WithDialPoolSize(n int) NodeDialOption { return server.WithPoolSize(n) }
+
+// WithDialMaxInFlight bounds pipelined requests outstanding per
+// connection.
+func WithDialMaxInFlight(n int) NodeDialOption { return server.WithMaxInFlight(n) }
+
+// DialMirror connects a Mirror to remote storage nodes; attach it to a
+// System with AttachMirror to replicate published versions over TCP.
+func DialMirror(addrs []string, opts ...NodeDialOption) (*NodeMirror, error) {
+	return cluster.NewMirror(addrs, opts...)
+}
+
+// WaitFutures blocks until every pipelined operation completes and
+// returns the first error among them.
+func WaitFutures(futures ...*NodeFuture) error { return server.Wait(futures...) }

@@ -1,14 +1,17 @@
 // Command storagenode runs a QinDB storage node over TCP in-process and
 // talks to it through the client — the wire-level view of a single Mint
-// node serving deduplicated index data.
+// node serving deduplicated index data. It demonstrates the protocol v2
+// surface: context-aware calls, batched publishes, and pipelined reads.
 //
 //	go run ./examples/storagenode
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"directload"
 )
@@ -29,39 +32,68 @@ func main() {
 	defer node.Close()
 	fmt.Printf("storage node listening on %s\n", ln.Addr())
 
-	// The client side: versioned writes, dedup, reads, range, stats.
-	cl, err := directload.DialNode(ln.Addr().String())
+	// The client negotiates protocol v2 automatically; WithDialTimeout
+	// bounds every call whose context carries no deadline.
+	cl, err := directload.DialNode(ln.Addr().String(),
+		directload.WithDialTimeout(2*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
+	ctx := context.Background()
 
+	// Publish version 1 as one batch: a single OpBatch round trip
+	// instead of one per record.
+	batch := cl.Batcher()
 	for i := 0; i < 5; i++ {
-		key := []byte(fmt.Sprintf("url/page-%02d", i))
-		if err := cl.Put(key, 1, []byte(fmt.Sprintf("content of page %d", i)), false); err != nil {
+		key := fmt.Sprintf("url/page-%02d", i)
+		value := fmt.Sprintf("content of page %d", i)
+		if err := batch.Put(ctx, []byte(key), 1, []byte(value), false); err != nil {
 			log.Fatal(err)
 		}
 	}
-	// Version 2 arrives deduplicated for page-00 (unchanged content).
-	if err := cl.Put([]byte("url/page-00"), 2, nil, true); err != nil {
+	if err := batch.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
-	val, err := cl.Get([]byte("url/page-00"), 2)
+
+	// Version 2 arrives deduplicated for page-00 (unchanged content).
+	if err := cl.PutContext(ctx, []byte("url/page-00"), 2, nil, true); err != nil {
+		log.Fatal(err)
+	}
+	val, err := cl.GetContext(ctx, []byte("url/page-00"), 2)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("GET url/page-00 @v2 -> %q (traceback server-side)\n", val)
 
-	entries, err := cl.Range([]byte("url/page-01"), []byte("url/page-04"), 0)
+	// Pipelined reads: all five gets share the wire and complete
+	// concurrently on the server.
+	p := cl.Pipeline()
+	var futures []*directload.NodeFuture
+	for i := 0; i < 5; i++ {
+		futures = append(futures, p.Get(ctx, []byte(fmt.Sprintf("url/page-%02d", i)), 1))
+	}
+	if err := directload.WaitFutures(futures...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pipelined gets:")
+	for i, f := range futures {
+		v, _ := f.Value()
+		fmt.Printf("  url/page-%02d @v1 -> %d bytes\n", i, len(v))
+	}
+
+	// Range with the server's default limit; the reply reports the
+	// limit that applied so callers can detect truncation.
+	entries, applied, err := cl.RangeContext(ctx, []byte("url/page-01"), []byte("url/page-04"), 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("range scan over the wire:")
+	fmt.Printf("range scan over the wire (server limit %d):\n", applied)
 	for _, e := range entries {
 		fmt.Printf("  %s @v%d\n", e.Key, e.Version)
 	}
 
-	st, err := cl.Stats()
+	st, err := cl.StatsContext(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

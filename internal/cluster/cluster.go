@@ -8,6 +8,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -107,8 +108,20 @@ type DirectLoad struct {
 	DCs     map[netsim.NodeID]*DataCenter
 
 	versions []uint64 // published versions in order
+	mirror   *Mirror
 	reg      *metrics.Registry
 	met      orchestratorMetrics
+}
+
+// AttachMirror makes every published version also fan out to the
+// mirror's remote TCP nodes (batched, see Mirror); retention drops
+// versions there too. Pass nil to detach. The caller keeps ownership of
+// the mirror and closes it after the system shuts down.
+func (d *DirectLoad) AttachMirror(m *Mirror) {
+	d.mirror = m
+	if m != nil && m.reg == nil && d.reg != nil {
+		m.SetMetrics(d.reg)
+	}
 }
 
 // orchestratorMetrics holds the cluster-level registry handles; all nil
@@ -332,6 +345,13 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep Update
 				dc.ID, dc.arrived[version], dc.expected[version], version)
 		}
 	}
+	// Remote publish path: fan the version out to mirrored TCP nodes in
+	// batched frames before declaring it published.
+	if d.mirror != nil {
+		if err := d.mirror.PublishVersion(context.Background(), version, entries); err != nil {
+			return rep, err
+		}
+	}
 	d.versions = append(d.versions, version)
 	rep.UpdateTime = d.Top.Net.Now() - start
 	rep.Dedup = d.Deduper.AdvanceVersion()
@@ -345,6 +365,11 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep Update
 	for len(d.versions) > d.cfg.RetainVersions {
 		old := d.versions[0]
 		d.versions = d.versions[1:]
+		if d.mirror != nil {
+			if err := d.mirror.DropVersion(context.Background(), old); err != nil {
+				return rep, err
+			}
+		}
 		for _, dc := range d.DCs {
 			if _, _, err := dc.Store.DropVersion(old); err != nil {
 				return rep, err

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"directload/internal/metrics"
+	"directload/internal/server"
+)
+
+// Mirror fans published versions out to real TCP storage nodes (qindbd
+// daemons) alongside the simulated deployment — the remote publish
+// path. Each node gets a pooled pipelined client, and every version is
+// shipped as a handful of OpBatch frames instead of one round trip per
+// record, which is what makes remote publish keep up with the
+// simulated fabric (paper §2: bulk version loads, not point writes).
+type Mirror struct {
+	clients []*server.Client
+	addrs   []string
+
+	reg *metrics.Registry
+	met mirrorMetrics
+}
+
+// mirrorMetrics holds the cluster.mirror.* handles; all nil-safe.
+type mirrorMetrics struct {
+	versions *metrics.Counter
+	ops      *metrics.Counter
+	errors   *metrics.Counter
+}
+
+// NewMirror dials one pooled client per node address. Dial options
+// (server.WithPoolSize, server.WithTimeout, ...) apply to every node.
+func NewMirror(addrs []string, opts ...server.DialOption) (*Mirror, error) {
+	m := &Mirror{addrs: append([]string(nil), addrs...)}
+	for _, addr := range addrs {
+		cl, err := server.Dial(addr, opts...)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("cluster: mirror dial %s: %w", addr, err)
+		}
+		m.clients = append(m.clients, cl)
+	}
+	return m, nil
+}
+
+// SetMetrics attaches a registry for the cluster.mirror.* counters.
+func (m *Mirror) SetMetrics(reg *metrics.Registry) {
+	m.reg = reg
+	m.met = mirrorMetrics{
+		versions: reg.Counter("cluster.mirror.versions"),
+		ops:      reg.Counter("cluster.mirror.ops"),
+		errors:   reg.Counter("cluster.mirror.errors"),
+	}
+}
+
+// Close tears down every node client.
+func (m *Mirror) Close() error {
+	var firstErr error
+	for _, cl := range m.clients {
+		if err := cl.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Nodes returns the mirrored node addresses.
+func (m *Mirror) Nodes() []string { return append([]string(nil), m.addrs...) }
+
+// PublishVersion ships every entry of a version to every node, batched,
+// all nodes in parallel. Dedup-stripped records are forwarded as dedup
+// puts so remote nodes resolve them against their own older versions.
+func (m *Mirror) PublishVersion(ctx context.Context, version uint64, entries []Entry) (err error) {
+	end := m.reg.Span("cluster.mirror.publish")
+	defer func() { end(err) }()
+	errs := make([]error, len(m.clients))
+	var wg sync.WaitGroup
+	for i, cl := range m.clients {
+		wg.Add(1)
+		go func(i int, cl *server.Client) {
+			defer wg.Done()
+			b := cl.Batcher()
+			for _, e := range entries {
+				if err := b.Put(ctx, e.Key, version, e.Value, false); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			errs[i] = b.Flush(ctx)
+		}(i, cl)
+	}
+	wg.Wait()
+	m.met.versions.Inc()
+	m.met.ops.Add(int64(len(entries) * len(m.clients)))
+	for i, e := range errs {
+		if e != nil {
+			m.met.errors.Inc()
+			return fmt.Errorf("cluster: mirroring v%d to %s: %w", version, m.addrs[i], e)
+		}
+	}
+	return nil
+}
+
+// DropVersion retires a version on every node (the retention policy's
+// remote half).
+func (m *Mirror) DropVersion(ctx context.Context, version uint64) error {
+	errs := make([]error, len(m.clients))
+	var wg sync.WaitGroup
+	for i, cl := range m.clients {
+		wg.Add(1)
+		go func(i int, cl *server.Client) {
+			defer wg.Done()
+			errs[i] = cl.DropVersionContext(ctx, version)
+		}(i, cl)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			m.met.errors.Inc()
+			return fmt.Errorf("cluster: dropping v%d on %s: %w", version, m.addrs[i], e)
+		}
+	}
+	return nil
+}

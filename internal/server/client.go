@@ -1,88 +1,241 @@
 package server
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"directload/internal/metrics"
 )
 
-// Client errors mirror the engine's sentinels across the wire.
-var (
-	ErrNotFound = errors.New("qindb client: not found")
-	ErrDeleted  = errors.New("qindb client: deleted")
-)
+// errClientClosed reports use after Close.
+var errClientClosed = errors.New("qindb client: closed")
 
-// Client is a synchronous QinDB client over one TCP connection. It is
-// safe for concurrent use; requests are serialized on the connection.
-type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
+// dialOptions collects the functional Dial configuration.
+type dialOptions struct {
+	timeout     time.Duration // default per-op deadline (0 = none)
+	poolSize    int           // connections in the pool
+	maxInFlight int           // per-connection pipelining bound
+	maxProto    int           // highest protocol version to negotiate
+	reg         *metrics.Registry
 }
 
-// Dial connects to a QinDB server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// DialOption configures Dial.
+type DialOption func(*dialOptions)
+
+// WithTimeout sets the default per-operation deadline, applied whenever
+// a call's context carries none. It also bounds the TCP dial and the
+// protocol handshake. Zero (the default) means no deadline.
+func WithTimeout(d time.Duration) DialOption {
+	return func(o *dialOptions) { o.timeout = d }
+}
+
+// WithPoolSize dials n connections and spreads requests across them
+// round-robin — concurrent callers stop contending for one wire.
+// Values < 1 mean 1.
+func WithPoolSize(n int) DialOption {
+	return func(o *dialOptions) { o.poolSize = n }
+}
+
+// WithMaxInFlight bounds the number of pipelined requests outstanding
+// per connection; further calls block until responses drain (the
+// client-side backpressure knob). Values < 1 reset the default.
+func WithMaxInFlight(n int) DialOption {
+	return func(o *dialOptions) { o.maxInFlight = n }
+}
+
+// WithMaxProtocol caps the negotiated protocol version.
+// WithMaxProtocol(ProtoV1) skips the hello entirely and speaks the
+// legacy in-order protocol — wire-compatible with servers that predate
+// v2.
+func WithMaxProtocol(v int) DialOption {
+	return func(o *dialOptions) {
+		if v >= ProtoV1 && v <= MaxProto {
+			o.maxProto = v
+		}
+	}
+}
+
+// WithMetrics attaches a registry for the client-side pool gauges:
+// client.pool.conns (connections dialed) and client.pool.inflight
+// (requests currently outstanding across the pool).
+func WithMetrics(reg *metrics.Registry) DialOption {
+	return func(o *dialOptions) { o.reg = reg }
+}
+
+// Client is a QinDB client over a small pool of TCP connections. It is
+// safe for concurrent use. On protocol v2 connections requests are
+// pipelined: many calls share one connection simultaneously and
+// complete out of order; on v1 connections calls serialize per
+// connection. Methods taking a context honor its deadline and
+// cancellation via connection deadlines; the *Context forms are the
+// primary API and the bare forms are deprecated wrappers.
+type Client struct {
+	addr string
+	opts dialOptions
+
+	mu     sync.Mutex // guards conns slots (lazy redial) and closed
+	conns  []*wireConn
+	closed bool
+	rr     atomic.Uint32
+
+	poolConns *metrics.Gauge
+	inflight  *metrics.Gauge
+}
+
+// Dial connects to a QinDB server and negotiates the protocol version
+// (old servers transparently fall back to v1). Options configure
+// deadlines, pool size and pipelining depth; Dial(addr) alone keeps the
+// historical single-connection behavior.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	o := dialOptions{poolSize: 1, maxInFlight: defaultMaxInFlight, maxProto: MaxProto}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.poolSize < 1 {
+		o.poolSize = 1
+	}
+	if o.maxInFlight < 1 {
+		o.maxInFlight = defaultMaxInFlight
+	}
+	c := &Client{
+		addr:      addr,
+		opts:      o,
+		conns:     make([]*wireConn, o.poolSize),
+		poolConns: o.reg.Gauge("client.pool.conns"),
+		inflight:  o.reg.Gauge("client.pool.inflight"),
+	}
+	for i := range c.conns {
+		w, err := dialWire(addr, o)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.conns[i] = w
+		c.poolConns.Add(1)
+	}
+	return c, nil
+}
+
+// Proto returns the negotiated protocol version (of the first pooled
+// connection).
+func (c *Client) Proto() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.conns) == 0 || c.conns[0] == nil {
+		return 0
+	}
+	return c.conns[0].proto
+}
+
+// Close tears down every pooled connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var firstErr error
+	for _, w := range c.conns {
+		if w == nil {
+			continue
+		}
+		if err := w.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.poolConns.Add(-1)
+	}
+	return firstErr
+}
+
+// pick returns a healthy pooled connection, redialing a broken slot in
+// place (a node restart heals on the next call instead of poisoning
+// 1/poolSize of all traffic).
+func (c *Client) pick() (*wireConn, error) {
+	i := int(c.rr.Add(1)) % len(c.conns)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	w := c.conns[i]
+	if w != nil && !w.broken() {
+		return w, nil
+	}
+	if w != nil {
+		w.close()
+	}
+	nw, err := dialWire(c.addr, c.opts)
 	if err != nil {
+		if c.conns[i] != nil {
+			c.poolConns.Add(-1)
+		}
+		c.conns[i] = nil
 		return nil, err
 	}
-	return &Client{conn: conn}, nil
+	if c.conns[i] == nil {
+		c.poolConns.Add(1)
+	}
+	c.conns[i] = nw
+	return nw, nil
 }
 
-// Close tears down the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// withTimeout applies the configured default deadline when ctx carries
+// none.
+func (c *Client) withTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.opts.timeout <= 0 {
+		return ctx, func() {}
+	}
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.opts.timeout)
+}
 
-// roundTrip sends one request and decodes the response.
-func (c *Client) roundTrip(req request) (uint8, []byte, error) {
+// do runs one request through the pool.
+func (c *Client) do(ctx context.Context, req request) (uint8, []byte, error) {
 	body, err := encodeRequest(req)
 	if err != nil {
 		return 0, nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := writeFrame(c.conn, body); err != nil {
-		return 0, nil, err
-	}
-	frame, err := readFrame(c.conn)
+	ctx, cancel := c.withTimeout(ctx)
+	defer cancel()
+	w, err := c.pick()
 	if err != nil {
 		return 0, nil, err
 	}
-	return decodeResponse(frame)
+	c.inflight.Add(1)
+	defer c.inflight.Add(-1)
+	return w.call(ctx, body)
 }
 
-// statusErr maps a non-OK status to a sentinel error.
-func statusErr(status uint8, payload []byte) error {
-	switch status {
-	case StatusOK:
-		return nil
-	case StatusNotFound:
-		return fmt.Errorf("%w: %s", ErrNotFound, payload)
-	case StatusDeleted:
-		return fmt.Errorf("%w: %s", ErrDeleted, payload)
-	default:
-		return fmt.Errorf("qindb client: server error: %s", payload)
-	}
-}
+// --- context-aware API ------------------------------------------------------
 
-// Put stores value under (key, version); dedup marks a value-stripped
-// entry whose payload lives in an older version.
-func (c *Client) Put(key []byte, version uint64, value []byte, dedup bool) error {
+// PutContext stores value under (key, version); dedup marks a
+// value-stripped entry whose payload lives in an older version.
+func (c *Client) PutContext(ctx context.Context, key []byte, version uint64, value []byte, dedup bool) error {
 	op := OpPut
 	if dedup {
 		op = OpPutDedup
 	}
-	status, payload, err := c.roundTrip(request{Op: op, Version: version, Key: key, Value: value})
+	status, payload, err := c.do(ctx, request{Op: op, Version: version, Key: key, Value: value})
 	if err != nil {
 		return err
 	}
 	return statusErr(status, payload)
 }
 
-// Get fetches the value at (key, version), following dedup traceback
-// server-side.
-func (c *Client) Get(key []byte, version uint64) ([]byte, error) {
-	status, payload, err := c.roundTrip(request{Op: OpGet, Version: version, Key: key})
+// GetContext fetches the value at (key, version), following dedup
+// traceback server-side.
+func (c *Client) GetContext(ctx context.Context, key []byte, version uint64) ([]byte, error) {
+	status, payload, err := c.do(ctx, request{Op: OpGet, Version: version, Key: key})
 	if err != nil {
 		return nil, err
 	}
@@ -92,27 +245,27 @@ func (c *Client) Get(key []byte, version uint64) ([]byte, error) {
 	return payload, nil
 }
 
-// Del marks (key, version) deleted.
-func (c *Client) Del(key []byte, version uint64) error {
-	status, payload, err := c.roundTrip(request{Op: OpDel, Version: version, Key: key})
+// DelContext marks (key, version) deleted.
+func (c *Client) DelContext(ctx context.Context, key []byte, version uint64) error {
+	status, payload, err := c.do(ctx, request{Op: OpDel, Version: version, Key: key})
 	if err != nil {
 		return err
 	}
 	return statusErr(status, payload)
 }
 
-// DropVersion retires a whole data version.
-func (c *Client) DropVersion(version uint64) error {
-	status, payload, err := c.roundTrip(request{Op: OpDropVersion, Version: version})
+// DropVersionContext retires a whole data version.
+func (c *Client) DropVersionContext(ctx context.Context, version uint64) error {
+	status, payload, err := c.do(ctx, request{Op: OpDropVersion, Version: version})
 	if err != nil {
 		return err
 	}
 	return statusErr(status, payload)
 }
 
-// Has reports whether (key, version) exists and is live.
-func (c *Client) Has(key []byte, version uint64) (bool, error) {
-	status, payload, err := c.roundTrip(request{Op: OpHas, Version: version, Key: key})
+// HasContext reports whether (key, version) exists and is live.
+func (c *Client) HasContext(ctx context.Context, key []byte, version uint64) (bool, error) {
+	status, payload, err := c.do(ctx, request{Op: OpHas, Version: version, Key: key})
 	if err != nil {
 		return false, err
 	}
@@ -122,24 +275,31 @@ func (c *Client) Has(key []byte, version uint64) (bool, error) {
 	return len(payload) == 1 && payload[0] == 1, nil
 }
 
-// Range lists up to limit newest-live (key, version) pairs in [from, to).
-func (c *Client) Range(from, to []byte, limit int) ([]RangeEntry, error) {
-	status, payload, err := c.roundTrip(request{
-		Op: OpRange, Version: uint64(limit), Key: from, Value: to,
+// RangeContext lists newest-live (key, version) pairs in [from, to).
+// limit <= 0 requests the server default; the second return value is
+// the limit the server actually applied (its cap clamps large asks), or
+// -1 when the server speaks v1 and does not report one.
+func (c *Client) RangeContext(ctx context.Context, from, to []byte, limit int) ([]RangeEntry, int, error) {
+	status, payload, err := c.do(ctx, request{
+		Op: OpRange, Version: uint64(int64(limit)), Key: from, Value: to,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := statusErr(status, payload); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return decodeRangeEntries(payload)
+	if c.Proto() >= ProtoV2 {
+		return decodeRangeReply(payload)
+	}
+	entries, err := decodeRangeEntries(payload)
+	return entries, -1, err
 }
 
-// Stats fetches engine statistics.
-func (c *Client) Stats() (StatsReply, error) {
+// StatsContext fetches engine statistics.
+func (c *Client) StatsContext(ctx context.Context) (StatsReply, error) {
 	var out StatsReply
-	status, payload, err := c.roundTrip(request{Op: OpStats})
+	status, payload, err := c.do(ctx, request{Op: OpStats})
 	if err != nil {
 		return out, err
 	}
@@ -150,11 +310,12 @@ func (c *Client) Stats() (StatsReply, error) {
 	return out, err
 }
 
-// Metrics fetches the server's metrics registry snapshot. Counter and
-// gauge values decode as float64; histograms as nested maps (count,
-// mean, p50, p99, ...). An uninstrumented server returns an empty map.
-func (c *Client) Metrics() (map[string]any, error) {
-	status, payload, err := c.roundTrip(request{Op: OpMetrics})
+// MetricsContext fetches the server's metrics registry snapshot.
+// Counter and gauge values decode as float64; histograms as nested maps
+// (count, mean, p50, p99, ...). An uninstrumented server returns an
+// empty map.
+func (c *Client) MetricsContext(ctx context.Context) (map[string]any, error) {
+	status, payload, err := c.do(ctx, request{Op: OpMetrics})
 	if err != nil {
 		return nil, err
 	}
@@ -166,9 +327,9 @@ func (c *Client) Metrics() (map[string]any, error) {
 	return out, err
 }
 
-// Ping checks liveness.
-func (c *Client) Ping() error {
-	status, payload, err := c.roundTrip(request{Op: OpPing})
+// PingContext checks liveness.
+func (c *Client) PingContext(ctx context.Context) error {
+	status, payload, err := c.do(ctx, request{Op: OpPing})
 	if err != nil {
 		return err
 	}
@@ -179,4 +340,377 @@ func (c *Client) Ping() error {
 		return fmt.Errorf("qindb client: unexpected ping reply %q", payload)
 	}
 	return nil
+}
+
+// --- deprecated context-free wrappers ---------------------------------------
+
+// Put stores value under (key, version).
+//
+// Deprecated: use PutContext.
+func (c *Client) Put(key []byte, version uint64, value []byte, dedup bool) error {
+	return c.PutContext(context.Background(), key, version, value, dedup)
+}
+
+// Get fetches the value at (key, version).
+//
+// Deprecated: use GetContext.
+func (c *Client) Get(key []byte, version uint64) ([]byte, error) {
+	return c.GetContext(context.Background(), key, version)
+}
+
+// Del marks (key, version) deleted.
+//
+// Deprecated: use DelContext.
+func (c *Client) Del(key []byte, version uint64) error {
+	return c.DelContext(context.Background(), key, version)
+}
+
+// DropVersion retires a whole data version.
+//
+// Deprecated: use DropVersionContext.
+func (c *Client) DropVersion(version uint64) error {
+	return c.DropVersionContext(context.Background(), version)
+}
+
+// Has reports whether (key, version) exists and is live.
+//
+// Deprecated: use HasContext.
+func (c *Client) Has(key []byte, version uint64) (bool, error) {
+	return c.HasContext(context.Background(), key, version)
+}
+
+// Range lists up to limit newest-live (key, version) pairs in [from,
+// to), discarding the server-applied limit.
+//
+// Deprecated: use RangeContext.
+func (c *Client) Range(from, to []byte, limit int) ([]RangeEntry, error) {
+	entries, _, err := c.RangeContext(context.Background(), from, to, limit)
+	return entries, err
+}
+
+// Stats fetches engine statistics.
+//
+// Deprecated: use StatsContext.
+func (c *Client) Stats() (StatsReply, error) {
+	return c.StatsContext(context.Background())
+}
+
+// Metrics fetches the server's metrics registry snapshot.
+//
+// Deprecated: use MetricsContext.
+func (c *Client) Metrics() (map[string]any, error) {
+	return c.MetricsContext(context.Background())
+}
+
+// Ping checks liveness.
+//
+// Deprecated: use PingContext.
+func (c *Client) Ping() error {
+	return c.PingContext(context.Background())
+}
+
+// --- wire connection --------------------------------------------------------
+
+// wireResp is one decoded response delivered to a waiter.
+type wireResp struct {
+	status  uint8
+	payload []byte
+	err     error
+}
+
+// wireConn is one TCP connection. In v2 mode a background reader
+// demultiplexes responses to waiters by sequence number, so many calls
+// can be in flight at once (bounded by sem); in v1 mode calls serialize
+// under wmu, one round trip at a time.
+type wireConn struct {
+	c     net.Conn
+	br    *bufio.Reader // sole reader: v1 serializes reads, v2 reads only in readLoop
+	proto int
+
+	wmu sync.Mutex // serializes frame writes (and whole v1 round trips)
+
+	// v2 demux state.
+	pmu     sync.Mutex
+	nextSeq uint32
+	pend    map[uint32]chan wireResp
+	sem     chan struct{}
+	done    chan struct{} // closed by the reader on connection death
+	readErr error         // set before done is closed
+
+	// v2 write coalescing: senders append frames under fmu; the flush
+	// goroutine drains the buffer with one write per syscall. Growth is
+	// bounded by sem — at most maxInFlight frames can be buffered.
+	fmu  sync.Mutex
+	fbuf []byte
+	fsig chan struct{} // capacity 1: "the buffer is non-empty"
+
+	bad  atomic.Bool // any I/O failure poisons the conn (stream unsynced)
+	once sync.Once
+}
+
+// dialWire opens and negotiates one connection.
+func dialWire(addr string, o dialOptions) (*wireConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, o.timeout)
+	if err != nil {
+		return nil, err
+	}
+	w := &wireConn{c: nc, br: bufio.NewReader(nc), proto: ProtoV1, done: make(chan struct{})}
+	if o.maxProto >= ProtoV2 {
+		if err := w.negotiate(o); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
+	if w.proto >= ProtoV2 {
+		w.pend = make(map[uint32]chan wireResp)
+		w.sem = make(chan struct{}, o.maxInFlight)
+		w.fsig = make(chan struct{}, 1)
+		go w.readLoop()
+		go w.flushLoop(o.timeout)
+	}
+	return w, nil
+}
+
+// negotiate sends the hello and interprets the answer. A StatusError
+// reply means the server predates OpHello; the connection stays v1.
+func (w *wireConn) negotiate(o dialOptions) error {
+	body, err := encodeRequest(request{Op: OpHello, Version: uint64(o.maxProto)})
+	if err != nil {
+		return err
+	}
+	if o.timeout > 0 {
+		w.c.SetDeadline(time.Now().Add(o.timeout))
+		defer w.c.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(w.c, body); err != nil {
+		return err
+	}
+	frame, err := readFrame(w.br)
+	if err != nil {
+		return err
+	}
+	status, payload, err := decodeResponse(frame)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return nil // legacy server: "unknown op", stay on v1
+	}
+	if len(payload) != 1 {
+		return fmt.Errorf("qindb client: malformed hello reply (%d bytes)", len(payload))
+	}
+	if v := int(payload[0]); v >= ProtoV2 && v <= MaxProto {
+		w.proto = v
+	}
+	return nil
+}
+
+// broken reports whether the connection is unusable.
+func (w *wireConn) broken() bool { return w.bad.Load() }
+
+// close tears the connection down and fails any waiters.
+func (w *wireConn) close() error {
+	w.bad.Store(true)
+	err := w.c.Close()
+	if w.proto < ProtoV2 {
+		w.once.Do(func() {
+			w.readErr = errClientClosed
+			close(w.done)
+		})
+	}
+	return err
+}
+
+// call runs one request/response exchange.
+func (w *wireConn) call(ctx context.Context, body []byte) (uint8, []byte, error) {
+	if w.proto >= ProtoV2 {
+		return w.callV2(ctx, body)
+	}
+	return w.callV1(ctx, body)
+}
+
+// callV1 is the legacy serialized round trip. Any I/O failure (deadline
+// included) can leave a partial frame on the stream, so it marks the
+// connection broken; the pool redials on the next call.
+func (w *wireConn) callV1(ctx context.Context, body []byte) (uint8, []byte, error) {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if w.bad.Load() {
+		return 0, nil, errClientClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		w.c.SetDeadline(dl)
+	} else {
+		w.c.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(w.c, body); err != nil {
+		return 0, nil, w.ioErr(ctx, err)
+	}
+	frame, err := readFrame(w.br)
+	if err != nil {
+		return 0, nil, w.ioErr(ctx, err)
+	}
+	return decodeResponse(frame)
+}
+
+// ioErr poisons the connection and prefers the context's verdict over
+// the raw net error when the deadline was the cause.
+func (w *wireConn) ioErr(ctx context.Context, err error) error {
+	w.bad.Store(true)
+	w.c.Close()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+// callV2 pipelines one request: write it, then wait for its response.
+func (w *wireConn) callV2(ctx context.Context, body []byte) (uint8, []byte, error) {
+	pc, err := w.sendV2(ctx, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return w.awaitV2(ctx, pc)
+}
+
+// pendingCall is one v2 request that has been written but not yet
+// answered.
+type pendingCall struct {
+	seq uint32
+	ch  chan wireResp
+}
+
+// sendV2 acquires an in-flight slot, registers a sequence number, and
+// queues the frame for the flush goroutine — the synchronous half of a
+// pipelined call, cheap enough to run inline on the issuing goroutine.
+// The slot is released when the response arrives (whether or not anyone
+// awaits it) or the call is unregistered. Write failures surface
+// through connection death rather than here.
+func (w *wireConn) sendV2(ctx context.Context, body []byte) (pendingCall, error) {
+	select {
+	case w.sem <- struct{}{}:
+	case <-ctx.Done():
+		return pendingCall{}, ctx.Err()
+	case <-w.done:
+		return pendingCall{}, w.readErr
+	}
+
+	ch := make(chan wireResp, 1)
+	w.pmu.Lock()
+	w.nextSeq++
+	seq := w.nextSeq
+	w.pend[seq] = ch
+	w.pmu.Unlock()
+
+	w.fmu.Lock()
+	w.fbuf = appendFrameSeq(w.fbuf, seq, body)
+	w.fmu.Unlock()
+	select {
+	case w.fsig <- struct{}{}:
+	default: // a wakeup is already queued
+	}
+	return pendingCall{seq: seq, ch: ch}, nil
+}
+
+// flushLoop writes queued v2 frames, coalescing everything that
+// accumulated while the previous syscall was in flight into the next
+// one. A write failure poisons the connection and closes it, which
+// fails every pending call via the read loop.
+func (w *wireConn) flushLoop(timeout time.Duration) {
+	for {
+		select {
+		case <-w.fsig:
+		case <-w.done:
+			return
+		}
+		w.fmu.Lock()
+		buf := w.fbuf
+		w.fbuf = nil
+		w.fmu.Unlock()
+		if len(buf) == 0 {
+			continue
+		}
+		if timeout > 0 {
+			w.c.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		if _, err := w.c.Write(buf); err != nil {
+			w.bad.Store(true)
+			w.c.Close() // the read loop fails all pending calls
+			return
+		}
+	}
+}
+
+// awaitV2 waits for the demuxed response, the context, or connection
+// death. A cancellation or teardown can race with the response itself:
+// if the reader already claimed the sequence number, its outcome is in
+// flight to pc.ch, so take it rather than the wakeup's error. Otherwise
+// unregistering guarantees no response will come (the reader discards
+// unclaimed sequence numbers; the stream itself stays synced).
+func (w *wireConn) awaitV2(ctx context.Context, pc pendingCall) (uint8, []byte, error) {
+	select {
+	case r := <-pc.ch:
+		return r.status, r.payload, r.err
+	case <-ctx.Done():
+		if w.unregister(pc.seq) {
+			return 0, nil, ctx.Err()
+		}
+	case <-w.done:
+		if w.unregister(pc.seq) {
+			return 0, nil, w.readErr
+		}
+	}
+	r := <-pc.ch
+	return r.status, r.payload, r.err
+}
+
+// unregister removes seq from the pending map, reporting whether this
+// call removed it. Whoever removes the entry — this or the read loop —
+// owns releasing the in-flight slot, so the release happens exactly
+// once per sequence number. A false return means the reader claimed the
+// call first and will deliver its outcome on the pending channel.
+func (w *wireConn) unregister(seq uint32) bool {
+	w.pmu.Lock()
+	_, ok := w.pend[seq]
+	delete(w.pend, seq)
+	w.pmu.Unlock()
+	if ok {
+		<-w.sem
+	}
+	return ok
+}
+
+// readLoop demultiplexes v2 responses to their waiters by sequence
+// number. On connection death it fails every pending waiter.
+func (w *wireConn) readLoop() {
+	for {
+		seq, frame, err := readFrameSeq(w.br)
+		if err != nil {
+			w.bad.Store(true)
+			w.pmu.Lock()
+			pend := w.pend
+			w.pend = make(map[uint32]chan wireResp)
+			w.pmu.Unlock()
+			w.once.Do(func() {
+				w.readErr = fmt.Errorf("qindb client: connection lost: %w", err)
+				close(w.done)
+			})
+			for _, ch := range pend {
+				ch <- wireResp{err: w.readErr}
+			}
+			return
+		}
+		status, payload, derr := decodeResponse(frame)
+		w.pmu.Lock()
+		ch := w.pend[seq]
+		delete(w.pend, seq)
+		w.pmu.Unlock()
+		if ch != nil {
+			ch <- wireResp{status: status, payload: payload, err: derr}
+			<-w.sem // response delivered: free the in-flight slot
+		}
+	}
 }

@@ -5,14 +5,72 @@
 // length-prefixed request/response frames carrying the mutated
 // GET/PUT/DEL operations of paper Fig. 2.
 //
+// # Protocol v1 (legacy, strictly in-order)
+//
 // Frame layout (all integers little-endian):
 //
 //	request:  len u32 | op u8 | version u64 | keyLen u16 | key | valLen u32 | value
 //	response: len u32 | status u8 | payloadLen u32 | payload
 //
-// For OpStats the payload is a JSON-encoded StatsReply. For OpRange the
-// request value holds the exclusive upper bound key and the response
-// payload packs keyLen u16 | key | version u64 triples. For OpMetrics
+// Requests on a connection are answered in order, one response per
+// request.
+//
+// # Version negotiation
+//
+// A client that speaks v2 sends OpHello as its very first request, with
+// the highest protocol version it supports in the Version field. The
+// server answers StatusOK with a one-byte payload carrying the version
+// it accepted; if that version is >= 2, both sides switch to v2 framing
+// for the remainder of the connection. A server that predates OpHello
+// answers a StatusFailed response ("unknown op") and the client stays on v1. Old
+// clients never send OpHello, so they keep speaking v1 against new
+// servers — both directions interoperate.
+//
+// # Protocol v2 (pipelined)
+//
+// Every frame gains a per-request sequence number directly after the
+// length prefix:
+//
+//	request:  len u32 | seq u32 | op u8 | version u64 | keyLen u16 | key | valLen u32 | value
+//	response: len u32 | seq u32 | status u8 | payloadLen u32 | payload
+//
+// (len counts everything after itself, including seq.) The client may
+// keep many requests in flight on one connection; the server dispatches
+// them concurrently (bounded by its max-in-flight knob) and responses
+// may arrive in any order — seq matches a response to its request.
+// Operations pipelined concurrently may execute in any order, so
+// dependent operations must wait for their predecessor's response.
+//
+// # OpBatch
+//
+// OpBatch packs N mutation sub-ops into one frame: Version holds the
+// sub-op count and Value the concatenated sub-ops, each encoded exactly
+// like a v1 request body (op u8 | version u64 | keyLen u16 | key |
+// valLen u32 | value). Only OpPut, OpPutDedup, OpDel and OpDropVersion
+// may appear as sub-ops. The server applies the batch in one pass and
+// answers StatusOK with one status per sub-op:
+//
+//	payload: count u32, then per sub-op: status u8 | msgLen u16 | msg
+//
+// msg is empty for StatusOK entries. A failing sub-op does not poison
+// the frame: the remaining sub-ops are still applied and reported
+// individually. OpBatch is negotiated with v2 but the server accepts it
+// on v1 connections too.
+//
+// # OpRange
+//
+// The request reuses the generic fields: Key = inclusive lower bound,
+// Value = exclusive upper bound, Version = limit. A limit <= 0 means
+// "server default" (the server's range cap, 4096 unless configured);
+// a positive limit is clamped to that cap. The v2 reply payload leads
+// with the applied limit:
+//
+//	v2 payload: appliedLimit u32 | entries
+//	v1 payload: entries
+//
+// where entries are keyLen u16 | key | version u64 triples.
+//
+// For OpStats the payload is a JSON-encoded StatsReply. For OpMetrics
 // the payload is the JSON encoding of the server's metrics registry
 // snapshot ({} when the server runs uninstrumented).
 package server
@@ -36,24 +94,41 @@ const (
 	OpRange
 	OpPing
 	OpMetrics
+	OpHello // protocol version negotiation (first request of a v2 client)
+	OpBatch // N packed mutation sub-ops in one frame
+)
+
+// opMax is the highest assigned opcode (bounds the per-opcode arrays).
+const opMax = OpBatch
+
+// Protocol versions. ProtoV1 is the legacy one-op-per-round-trip
+// protocol; ProtoV2 adds sequence numbers, pipelining and batching.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+	// MaxProto is the highest version this package speaks.
+	MaxProto = ProtoV2
 )
 
 // opNames labels ops for per-opcode metric names.
-var opNames = [OpMetrics + 1]string{
+var opNames = [opMax + 1]string{
 	OpPut: "put", OpPutDedup: "putd", OpGet: "get", OpDel: "del",
 	OpDropVersion: "drop", OpHas: "has", OpStats: "stats",
 	OpRange: "range", OpPing: "ping", OpMetrics: "metrics",
+	OpHello: "hello", OpBatch: "batch",
 }
 
-// Response statuses.
+// Response statuses. (StatusFailed was once named StatusError; the
+// name now belongs to the error type carrying these codes to callers.)
 const (
 	StatusOK uint8 = iota
 	StatusNotFound
 	StatusDeleted
-	StatusError
+	StatusFailed
 )
 
-// Protocol limits: a request may carry one key and one value.
+// Protocol limits: a request may carry one key and one value (a batch
+// frame may carry many sub-ops up to the frame cap).
 const (
 	MaxKeyLen   = 1 << 16
 	MaxValueLen = 64 << 20
@@ -74,21 +149,19 @@ type request struct {
 	Value   []byte
 }
 
-// writeFrame writes a length-prefixed frame.
+// writeFrame writes a length-prefixed v1 frame.
 func writeFrame(w io.Writer, payload []byte) error {
 	if len(payload) > maxFrame {
 		return ErrFrameTooBig
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	buf := make([]byte, 4+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err := w.Write(buf) // one write: a frame never splits into two syscalls
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
+// readFrame reads one length-prefixed v1 frame.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -105,6 +178,49 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
+// writeFrameSeq writes a v2 frame: len u32 | seq u32 | body.
+func writeFrameSeq(w io.Writer, seq uint32, body []byte) error {
+	if len(body)+4 > maxFrame {
+		return ErrFrameTooBig
+	}
+	buf := appendFrameSeq(nil, seq, body)
+	_, err := w.Write(buf) // one write: a frame never splits into two syscalls
+	return err
+}
+
+// appendFrameSeq appends one encoded v2 frame to buf, letting callers
+// coalesce several frames into a single write.
+func appendFrameSeq(buf []byte, seq uint32, body []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)+4))
+	buf = binary.LittleEndian.AppendUint32(buf, seq)
+	return append(buf, body...)
+}
+
+// readFrameSeq reads one v2 frame, returning its sequence number and
+// body.
+func readFrameSeq(r io.Reader) (uint32, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n < 4 {
+		return 0, nil, fmt.Errorf("%w: v2 frame shorter than its seq", ErrBadFrame)
+	}
+	if n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return 0, nil, err
+	}
+	seq := binary.LittleEndian.Uint32(hdr[4:])
+	buf := make([]byte, n-4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return seq, buf, nil
+}
+
 // encodeRequest serializes a request body (without the frame header).
 func encodeRequest(req request) ([]byte, error) {
 	if len(req.Key) > MaxKeyLen {
@@ -114,39 +230,51 @@ func encodeRequest(req request) ([]byte, error) {
 		return nil, fmt.Errorf("%w: value %d bytes", ErrFrameTooBig, len(req.Value))
 	}
 	buf := make([]byte, 0, 1+8+2+len(req.Key)+4+len(req.Value))
+	return appendRequest(buf, req), nil
+}
+
+// appendRequest appends a request body encoding to buf.
+func appendRequest(buf []byte, req request) []byte {
 	buf = append(buf, req.Op)
 	buf = binary.LittleEndian.AppendUint64(buf, req.Version)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(req.Key)))
 	buf = append(buf, req.Key...)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(req.Value)))
 	buf = append(buf, req.Value...)
-	return buf, nil
+	return buf
 }
 
-// decodeRequest parses a request body.
-func decodeRequest(buf []byte) (request, error) {
+// decodeRequestAt parses one request body starting at offset p,
+// returning the request and the offset just past it.
+func decodeRequestAt(buf []byte, p int) (request, int, error) {
 	var req request
-	if len(buf) < 1+8+2 {
-		return req, fmt.Errorf("%w: short header", ErrBadFrame)
+	if len(buf) < p+1+8+2 {
+		return req, p, fmt.Errorf("%w: short header", ErrBadFrame)
 	}
-	req.Op = buf[0]
-	req.Version = binary.LittleEndian.Uint64(buf[1:])
-	klen := int(binary.LittleEndian.Uint16(buf[9:]))
-	p := 11
+	req.Op = buf[p]
+	req.Version = binary.LittleEndian.Uint64(buf[p+1:])
+	klen := int(binary.LittleEndian.Uint16(buf[p+9:]))
+	p += 11
 	if len(buf) < p+klen+4 {
-		return req, fmt.Errorf("%w: short key", ErrBadFrame)
+		return req, p, fmt.Errorf("%w: short key", ErrBadFrame)
 	}
 	req.Key = buf[p : p+klen]
 	p += klen
 	vlen := int(binary.LittleEndian.Uint32(buf[p:]))
 	p += 4
 	if len(buf) < p+vlen {
-		return req, fmt.Errorf("%w: short value", ErrBadFrame)
+		return req, p, fmt.Errorf("%w: short value", ErrBadFrame)
 	}
 	if vlen > 0 {
 		req.Value = buf[p : p+vlen]
 	}
-	return req, nil
+	return req, p + vlen, nil
+}
+
+// decodeRequest parses a request body.
+func decodeRequest(buf []byte) (request, error) {
+	req, _, err := decodeRequestAt(buf, 0)
+	return req, err
 }
 
 // encodeResponse serializes a response body.
@@ -205,6 +333,138 @@ func decodeRangeEntries(buf []byte) ([]RangeEntry, error) {
 		e.Version = binary.LittleEndian.Uint64(buf[p:])
 		p += 8
 		out = append(out, e)
+	}
+	return out, nil
+}
+
+// encodeRangeReply packs a v2 range reply: applied limit then entries.
+func encodeRangeReply(applied int, entries []RangeEntry) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(applied))
+	return append(buf, encodeRangeEntries(entries)...)
+}
+
+// decodeRangeReply unpacks a v2 range reply.
+func decodeRangeReply(buf []byte) ([]RangeEntry, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("%w: short range reply", ErrBadFrame)
+	}
+	applied := int(binary.LittleEndian.Uint32(buf))
+	entries, err := decodeRangeEntries(buf[4:])
+	return entries, applied, err
+}
+
+// BatchOp is one sub-op of an OpBatch frame. Only mutations may be
+// batched: OpPut, OpPutDedup, OpDel and OpDropVersion.
+type BatchOp struct {
+	Op      uint8
+	Version uint64
+	Key     []byte
+	Value   []byte
+}
+
+// batchable reports whether op may appear inside an OpBatch frame.
+func batchable(op uint8) bool {
+	switch op {
+	case OpPut, OpPutDedup, OpDel, OpDropVersion:
+		return true
+	}
+	return false
+}
+
+// encodeBatch packs sub-ops into an OpBatch request body.
+func encodeBatch(ops []BatchOp) ([]byte, error) {
+	size := 0
+	for _, op := range ops {
+		if !batchable(op.Op) {
+			return nil, fmt.Errorf("%w: op %d not batchable", ErrBadFrame, op.Op)
+		}
+		if len(op.Key) > MaxKeyLen {
+			return nil, fmt.Errorf("%w: key %d bytes", ErrFrameTooBig, len(op.Key))
+		}
+		if len(op.Value) > MaxValueLen {
+			return nil, fmt.Errorf("%w: value %d bytes", ErrFrameTooBig, len(op.Value))
+		}
+		size += 1 + 8 + 2 + len(op.Key) + 4 + len(op.Value)
+	}
+	buf := make([]byte, 0, size)
+	for _, op := range ops {
+		buf = appendRequest(buf, request{Op: op.Op, Version: op.Version, Key: op.Key, Value: op.Value})
+	}
+	if len(buf) > MaxValueLen {
+		return nil, fmt.Errorf("%w: batch %d bytes", ErrFrameTooBig, len(buf))
+	}
+	return buf, nil
+}
+
+// decodeBatch unpacks the sub-ops of an OpBatch request body, verifying
+// the declared count.
+func decodeBatch(buf []byte, count int) ([]request, error) {
+	if count < 0 || count > len(buf) {
+		return nil, fmt.Errorf("%w: batch count %d", ErrBadFrame, count)
+	}
+	out := make([]request, 0, count)
+	for p := 0; p < len(buf); {
+		req, np, err := decodeRequestAt(buf, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+		p = np
+	}
+	if len(out) != count {
+		return nil, fmt.Errorf("%w: batch declared %d sub-ops, carried %d", ErrBadFrame, count, len(out))
+	}
+	return out, nil
+}
+
+// subStatus is one sub-op outcome in a batch reply.
+type subStatus struct {
+	status uint8
+	msg    []byte
+}
+
+// encodeBatchReply packs per-sub-op statuses.
+func encodeBatchReply(statuses []subStatus) []byte {
+	size := 4
+	for _, s := range statuses {
+		size += 1 + 2 + len(s.msg)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(statuses)))
+	for _, s := range statuses {
+		buf = append(buf, s.status)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.msg)))
+		buf = append(buf, s.msg...)
+	}
+	return buf
+}
+
+// decodeBatchReply unpacks per-sub-op statuses.
+func decodeBatchReply(buf []byte) ([]subStatus, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("%w: short batch reply", ErrBadFrame)
+	}
+	count := int(binary.LittleEndian.Uint32(buf))
+	out := make([]subStatus, 0, count)
+	for p := 4; p < len(buf); {
+		if p+3 > len(buf) {
+			return nil, ErrBadFrame
+		}
+		st := buf[p]
+		mlen := int(binary.LittleEndian.Uint16(buf[p+1:]))
+		p += 3
+		if p+mlen > len(buf) {
+			return nil, ErrBadFrame
+		}
+		var msg []byte
+		if mlen > 0 {
+			msg = append([]byte(nil), buf[p:p+mlen]...)
+		}
+		p += mlen
+		out = append(out, subStatus{status: st, msg: msg})
+	}
+	if len(out) != count {
+		return nil, fmt.Errorf("%w: batch reply declared %d, carried %d", ErrBadFrame, count, len(out))
 	}
 	return out, nil
 }

@@ -1,18 +1,22 @@
 package server
 
 import (
-	"errors"
+	"context"
 	"time"
-
-	"directload/internal/core"
 )
 
 // RemoteEngine adapts a Client to the storage-engine interface Mint
 // expects (mint.Engine, satisfied structurally), so a Mint group can be
 // assembled from storage nodes reached over real TCP instead of
-// in-process engines. Device costs are incurred server-side and are not
-// visible over this protocol, so the reported durations are zero; the
-// wire itself is real.
+// in-process engines. Dial the client with WithPoolSize to let Mint's
+// concurrent replica writes fan out over several connections. Device
+// costs are incurred server-side and are not visible over this
+// protocol, so the reported durations are zero; the wire itself is
+// real.
+//
+// Errors come back as *StatusError, which errors.Is maps onto the
+// engine sentinels — errors.Is(err, core.ErrNotFound) behaves
+// identically for local and remote engines with no translation layer.
 type RemoteEngine struct {
 	c *Client
 }
@@ -20,48 +24,37 @@ type RemoteEngine struct {
 // NewRemoteEngine wraps a connected client.
 func NewRemoteEngine(c *Client) *RemoteEngine { return &RemoteEngine{c: c} }
 
+// Client exposes the underlying client (e.g. to build a Batcher for
+// bulk loads onto this node).
+func (r *RemoteEngine) Client() *Client { return r.c }
+
 // Put stores (key, version) on the remote node.
 func (r *RemoteEngine) Put(key []byte, version uint64, value []byte, dedup bool) (time.Duration, error) {
-	return 0, translate(r.c.Put(key, version, value, dedup))
+	return 0, r.c.PutContext(context.Background(), key, version, value, dedup)
 }
 
 // Get fetches (key, version) from the remote node.
 func (r *RemoteEngine) Get(key []byte, version uint64) ([]byte, time.Duration, error) {
-	val, err := r.c.Get(key, version)
-	return val, 0, translate(err)
+	val, err := r.c.GetContext(context.Background(), key, version)
+	return val, 0, err
 }
 
 // Del deletes (key, version) on the remote node.
 func (r *RemoteEngine) Del(key []byte, version uint64) (time.Duration, error) {
-	return 0, translate(r.c.Del(key, version))
+	return 0, r.c.DelContext(context.Background(), key, version)
 }
 
 // DropVersion retires a version on the remote node. The protocol does
 // not return the dropped count, so it reports zero.
 func (r *RemoteEngine) DropVersion(version uint64) (int, time.Duration, error) {
-	return 0, 0, translate(r.c.DropVersion(version))
+	return 0, 0, r.c.DropVersionContext(context.Background(), version)
 }
 
 // Has probes (key, version) on the remote node.
 func (r *RemoteEngine) Has(key []byte, version uint64) bool {
-	ok, err := r.c.Has(key, version)
+	ok, err := r.c.HasContext(context.Background(), key, version)
 	return err == nil && ok
 }
 
 // Close tears down the connection (the remote engine itself stays up).
 func (r *RemoteEngine) Close() error { return r.c.Close() }
-
-// translate maps wire sentinels back onto the engine's error space so
-// errors.Is checks behave identically for local and remote engines.
-func translate(err error) error {
-	switch {
-	case err == nil:
-		return nil
-	case errors.Is(err, ErrNotFound):
-		return core.ErrNotFound
-	case errors.Is(err, ErrDeleted):
-		return core.ErrDeleted
-	default:
-		return err
-	}
-}

@@ -1,16 +1,26 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"directload/internal/core"
 	"directload/internal/metrics"
 )
+
+// defaultMaxInFlight bounds concurrent dispatch per v2 connection when
+// the operator does not configure one.
+const defaultMaxInFlight = 64
+
+// maxCoalesce caps how many response bytes the v2 writer accumulates
+// before forcing a write, bounding both latency and buffer growth.
+const maxCoalesce = 64 << 10
 
 // StatsReply is the JSON payload of OpStats.
 type StatsReply struct {
@@ -18,8 +28,11 @@ type StatsReply struct {
 	Conns  int        `json:"conns"`
 }
 
-// Server exposes one QinDB engine on a TCP listener. One goroutine per
-// connection; requests on a connection are processed in order.
+// Server exposes one QinDB engine on a TCP listener, one goroutine per
+// connection. A v1 connection is handled strictly in order; after a v2
+// hello the connection switches to pipelined mode, dispatching up to
+// MaxInFlight requests concurrently while a dedicated writer goroutine
+// serializes responses back onto the wire.
 type Server struct {
 	db *core.DB
 
@@ -30,6 +43,15 @@ type Server struct {
 	logf     func(format string, args ...any)
 	rangeCap int
 
+	// Tuning knobs, atomic so they may be adjusted while serving.
+	// maxInFlight and maxProto apply to connections accepted (or, for
+	// maxInFlight, upgraded to v2) after the change; the deadlines
+	// apply from each connection's next frame.
+	maxInFlight  atomic.Int32
+	readTimeout  atomic.Int64 // nanoseconds; 0 disables
+	writeTimeout atomic.Int64 // nanoseconds; 0 disables
+	maxProto     atomic.Int32
+
 	reg *metrics.Registry
 	met serverMetrics
 }
@@ -37,10 +59,12 @@ type Server struct {
 // serverMetrics holds per-opcode request counters and wall-clock latency
 // histograms, indexed by opcode. All handles nil without a registry.
 type serverMetrics struct {
-	reqs    [OpMetrics + 1]*metrics.Counter
-	lat     [OpMetrics + 1]*metrics.Histogram
-	badReqs *metrics.Counter
-	conns   *metrics.Gauge
+	reqs     [opMax + 1]*metrics.Counter
+	lat      [opMax + 1]*metrics.Histogram
+	badReqs  *metrics.Counter
+	conns    *metrics.Gauge
+	inflight *metrics.Gauge   // server.pipeline.inflight: requests being dispatched
+	batchOps *metrics.Counter // server.batch.ops: sub-ops applied via OpBatch
 }
 
 // SetMetrics attaches a registry (exported via OpMetrics and, in qindbd,
@@ -51,24 +75,29 @@ func (s *Server) SetMetrics(reg *metrics.Registry) {
 		s.met = serverMetrics{}
 		return
 	}
-	for op := OpPut; op <= OpMetrics; op++ {
+	for op := OpPut; op <= opMax; op++ {
 		name := opNames[op]
 		s.met.reqs[op] = reg.Counter("server.req." + name)
 		s.met.lat[op] = reg.Histogram("server.req." + name + ".latency_us")
 	}
 	s.met.badReqs = reg.Counter("server.req.bad")
 	s.met.conns = reg.Gauge("server.conns.active")
+	s.met.inflight = reg.Gauge("server.pipeline.inflight")
+	s.met.batchOps = reg.Counter("server.batch.ops")
 }
 
 // New wraps an engine. The caller keeps ownership of db and must close
 // it after the server stops.
 func New(db *core.DB) *Server {
-	return &Server{
+	s := &Server{
 		db:       db,
 		conns:    make(map[net.Conn]bool),
 		logf:     log.Printf,
 		rangeCap: 4096,
 	}
+	s.maxInFlight.Store(defaultMaxInFlight)
+	s.maxProto.Store(MaxProto)
+	return s
 }
 
 // SetLogf replaces the server's logger (nil silences it).
@@ -77,6 +106,38 @@ func (s *Server) SetLogf(logf func(format string, args ...any)) {
 		logf = func(string, ...any) {}
 	}
 	s.logf = logf
+}
+
+// SetMaxInFlight bounds concurrent dispatch per v2 connection — the
+// backpressure knob: once a connection has n requests being served, the
+// server stops reading from it until responses drain. Values < 1 reset
+// the default. Safe at runtime; applies to connections upgraded after
+// the call.
+func (s *Server) SetMaxInFlight(n int) {
+	if n < 1 {
+		n = defaultMaxInFlight
+	}
+	s.maxInFlight.Store(int32(n))
+}
+
+// SetTimeouts installs per-frame read and write deadlines (zero
+// disables either). The read deadline doubles as an idle timeout: a
+// connection that sends nothing for `read` is torn down. Safe at
+// runtime; applies from each connection's next frame.
+func (s *Server) SetTimeouts(read, write time.Duration) {
+	s.readTimeout.Store(int64(read))
+	s.writeTimeout.Store(int64(write))
+}
+
+// SetMaxProtocol caps the protocol version the server negotiates —
+// SetMaxProtocol(ProtoV1) makes it behave like a legacy in-order server
+// (useful for interop testing and staged rollouts). Safe at runtime;
+// applies to hellos received after the call.
+func (s *Server) SetMaxProtocol(v int) {
+	if v < ProtoV1 || v > MaxProto {
+		v = MaxProto
+	}
+	s.maxProto.Store(int32(v))
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
@@ -163,45 +224,165 @@ func (s *Server) dropConn(c net.Conn) {
 	c.Close()
 }
 
+// handle serves one connection, starting in v1 (in-order) mode. A
+// successful OpHello hands the connection over to the pipelined v2
+// loop.
 func (s *Server) handle(conn net.Conn) {
 	s.met.conns.Add(1)
 	defer s.met.conns.Add(-1)
 	defer s.dropConn(conn)
+	br := bufio.NewReader(conn)
 	for {
-		frame, err := readFrame(conn)
+		if rt := time.Duration(s.readTimeout.Load()); rt > 0 {
+			conn.SetReadDeadline(time.Now().Add(rt))
+		}
+		frame, err := readFrame(br)
 		if err != nil {
 			return // EOF or teardown
 		}
 		req, err := decodeRequest(frame)
 		var resp []byte
-		if err != nil {
+		switch {
+		case err != nil:
 			s.met.badReqs.Inc()
-			resp = encodeResponse(StatusError, []byte(err.Error()))
-		} else {
-			resp = s.dispatch(req)
+			resp = encodeResponse(StatusFailed, []byte(err.Error()))
+		case req.Op == OpHello:
+			accepted := s.negotiate(req)
+			resp = encodeResponse(StatusOK, []byte{byte(accepted)})
+			if err := s.writeResp(conn, resp); err != nil {
+				return
+			}
+			if accepted >= ProtoV2 {
+				s.handleV2(conn, br)
+				return
+			}
+			continue
+		default:
+			resp = s.dispatch(req, ProtoV1)
 		}
-		if err := writeFrame(conn, resp); err != nil {
+		if err := s.writeResp(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
+// writeResp writes one v1 response frame under the write deadline.
+func (s *Server) writeResp(conn net.Conn, resp []byte) error {
+	if wt := time.Duration(s.writeTimeout.Load()); wt > 0 {
+		conn.SetWriteDeadline(time.Now().Add(wt))
+	}
+	return writeFrame(conn, resp)
+}
+
+// negotiate picks the protocol version for a hello request.
+func (s *Server) negotiate(req request) int {
+	accepted := int(req.Version)
+	if mp := int(s.maxProto.Load()); accepted > mp {
+		accepted = mp
+	}
+	if accepted < ProtoV1 {
+		accepted = ProtoV1
+	}
+	return accepted
+}
+
+// seqResp pairs a response body with the sequence number it answers.
+type seqResp struct {
+	seq  uint32
+	body []byte
+}
+
+// handleV2 runs the pipelined loop: the reader admits up to maxInFlight
+// requests (the backpressure gate — beyond that it stops reading, which
+// pushes back through TCP flow control), each dispatched on its own
+// goroutine; a single writer goroutine serializes the out-of-order
+// completions back onto the wire, coalescing whatever has accumulated
+// into one write per syscall.
+func (s *Server) handleV2(conn net.Conn, br *bufio.Reader) {
+	maxInFlight := int(s.maxInFlight.Load())
+	respCh := make(chan seqResp, maxInFlight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var werr error
+		var buf []byte
+		for r := range respCh {
+			if werr != nil {
+				continue // conn is dead; drain so workers never block
+			}
+			buf = appendFrameSeq(buf[:0], r.seq, r.body)
+		coalesce:
+			for len(buf) < maxCoalesce {
+				select {
+				case r, ok := <-respCh:
+					if !ok {
+						break coalesce
+					}
+					buf = appendFrameSeq(buf, r.seq, r.body)
+				default:
+					break coalesce
+				}
+			}
+			if wt := time.Duration(s.writeTimeout.Load()); wt > 0 {
+				conn.SetWriteDeadline(time.Now().Add(wt))
+			}
+			if _, werr = conn.Write(buf); werr != nil {
+				conn.Close() // unblock the reader
+			}
+		}
+	}()
+
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	for {
+		if rt := time.Duration(s.readTimeout.Load()); rt > 0 {
+			conn.SetReadDeadline(time.Now().Add(rt))
+		}
+		seq, body, err := readFrameSeq(br)
+		if err != nil {
+			break
+		}
+		req, derr := decodeRequest(body)
+		sem <- struct{}{}
+		s.met.inflight.Add(1)
+		wg.Add(1)
+		go func(seq uint32, req request, derr error) {
+			defer wg.Done()
+			var resp []byte
+			if derr != nil {
+				s.met.badReqs.Inc()
+				resp = encodeResponse(StatusFailed, []byte(derr.Error()))
+			} else {
+				resp = s.dispatch(req, ProtoV2)
+			}
+			// Decrement before queueing the response so the gauge
+			// never reads >0 after the client has seen every reply.
+			s.met.inflight.Add(-1)
+			respCh <- seqResp{seq: seq, body: resp}
+			<-sem
+		}(seq, req, derr)
+	}
+	wg.Wait()
+	close(respCh)
+	<-writerDone
+}
+
 // dispatch executes one request against the engine, timing it with the
 // wall clock (the client-visible latency, unlike the engine's simulated
 // device cost).
-func (s *Server) dispatch(req request) []byte {
-	if req.Op < OpPut || req.Op > OpMetrics {
+func (s *Server) dispatch(req request, proto int) []byte {
+	if req.Op < OpPut || req.Op > opMax || req.Op == OpHello {
 		s.met.badReqs.Inc()
-		return encodeResponse(StatusError, []byte("unknown op"))
+		return encodeResponse(StatusFailed, []byte("unknown op"))
 	}
 	start := time.Now()
-	resp := s.dispatchOp(req)
+	resp := s.dispatchOp(req, proto)
 	s.met.reqs[req.Op].Inc()
 	s.met.lat[req.Op].Observe(float64(time.Since(start)) / float64(time.Microsecond))
 	return resp
 }
 
-func (s *Server) dispatchOp(req request) []byte {
+func (s *Server) dispatchOp(req request, proto int) []byte {
 	switch req.Op {
 	case OpPing:
 		return encodeResponse(StatusOK, []byte("pong"))
@@ -235,8 +416,10 @@ func (s *Server) dispatchOp(req request) []byte {
 		}
 		return encodeResponse(StatusOK, payload)
 	case OpRange:
-		// Key = from, Value = exclusive upper bound, Version = limit.
-		limit := int(req.Version)
+		// Key = from, Value = exclusive upper bound, Version = limit;
+		// limit <= 0 selects the server default (rangeCap), positive
+		// limits clamp to it.
+		limit := int(int64(req.Version))
 		if limit <= 0 || limit > s.rangeCap {
 			limit = s.rangeCap
 		}
@@ -245,7 +428,12 @@ func (s *Server) dispatchOp(req request) []byte {
 			entries = append(entries, RangeEntry{Key: append([]byte(nil), key...), Version: ver})
 			return len(entries) < limit
 		})
+		if proto >= ProtoV2 {
+			return encodeResponse(StatusOK, encodeRangeReply(limit, entries))
+		}
 		return encodeResponse(StatusOK, encodeRangeEntries(entries))
+	case OpBatch:
+		return s.dispatchBatch(req)
 	case OpMetrics:
 		if s.reg == nil {
 			return encodeResponse(StatusOK, []byte("{}"))
@@ -256,7 +444,55 @@ func (s *Server) dispatchOp(req request) []byte {
 		}
 		return encodeResponse(StatusOK, payload)
 	default:
-		return encodeResponse(StatusError, []byte("unknown op"))
+		return encodeResponse(StatusFailed, []byte("unknown op"))
+	}
+}
+
+// dispatchBatch applies the sub-ops of one OpBatch frame in one pass.
+// Sub-op failures are reported individually; the frame itself succeeds
+// unless it is malformed.
+func (s *Server) dispatchBatch(req request) []byte {
+	ops, err := decodeBatch(req.Value, int(req.Version))
+	if err != nil {
+		s.met.badReqs.Inc()
+		return encodeResponse(StatusFailed, []byte(err.Error()))
+	}
+	statuses := make([]subStatus, len(ops))
+	for i, op := range ops {
+		var err error
+		switch op.Op {
+		case OpPut, OpPutDedup:
+			_, err = s.db.Put(op.Key, op.Version, op.Value, op.Op == OpPutDedup)
+		case OpDel:
+			_, err = s.db.Del(op.Key, op.Version)
+		case OpDropVersion:
+			_, _, err = s.db.DropVersion(op.Version)
+		default:
+			err = errors.New("op not batchable")
+		}
+		statuses[i] = subStatusOf(err)
+	}
+	s.met.batchOps.Add(int64(len(ops)))
+	return encodeResponse(StatusOK, encodeBatchReply(statuses))
+}
+
+// subStatusOf maps a sub-op error onto its wire status.
+func subStatusOf(err error) subStatus {
+	if err == nil {
+		return subStatus{status: StatusOK}
+	}
+	return subStatus{status: statusCode(err), msg: []byte(err.Error())}
+}
+
+// statusCode maps an engine error onto a wire status byte.
+func statusCode(err error) uint8 {
+	switch {
+	case errors.Is(err, core.ErrNotFound):
+		return StatusNotFound
+	case errors.Is(err, core.ErrDeleted):
+		return StatusDeleted
+	default:
+		return StatusFailed
 	}
 }
 
@@ -268,12 +504,5 @@ func statusOnly(err error) []byte {
 }
 
 func errResponse(err error) []byte {
-	status := StatusError
-	switch {
-	case errors.Is(err, core.ErrNotFound):
-		status = StatusNotFound
-	case errors.Is(err, core.ErrDeleted):
-		status = StatusDeleted
-	}
-	return encodeResponse(status, []byte(err.Error()))
+	return encodeResponse(statusCode(err), []byte(err.Error()))
 }

@@ -224,7 +224,7 @@ func TestMalformedFrameGetsError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if status != StatusError || len(payload) == 0 {
+	if status != StatusFailed || len(payload) == 0 {
 		t.Fatalf("status = %d, payload = %q", status, payload)
 	}
 	// The connection stays usable.
