@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench check clean
+.PHONY: build test race vet bench bench-json check clean
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,22 @@ vet:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 100x ./...
 
+# Machine-readable benchmark report: the remote publish path plus the
+# core engine benchmarks, rendered to BENCH_directload.json by
+# cmd/benchjson (name -> ops/s, ns/op, B/op, allocs/op).
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkRemotePublish' -benchmem -benchtime 20x ./internal/server/ > .bench.out
+	$(GO) test -run xxx -bench 'BenchmarkPut20KB$$|BenchmarkGet20KB|BenchmarkGetDedup|BenchmarkDel|BenchmarkRecovery|BenchmarkPut20KBInstrumented' -benchmem -benchtime 50x ./internal/core/ >> .bench.out
+	$(GO) run ./cmd/benchjson < .bench.out > BENCH_directload.json
+	rm -f .bench.out
+	@echo wrote BENCH_directload.json
+
 # Full pre-merge gate: compile, vet, unit tests, then the race detector
-# over the concurrency-heavy network and cluster packages.
+# over the concurrency-heavy network and cluster packages. benchjson is
+# built (not run) as a smoke test so bench-json can't rot unnoticed.
 check: build vet test
 	$(GO) test -race ./internal/server/... ./internal/cluster/...
+	$(GO) build -o /dev/null ./cmd/benchjson
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,109 @@
+// Command benchjson converts `go test -bench -benchmem` text output on
+// stdin into a JSON report on stdout, keyed by benchmark name:
+//
+//	go test -run xxx -bench . -benchmem ./internal/core/ | benchjson > BENCH.json
+//
+// Each entry carries ops/s (derived from ns/op), ns/op, B/op and
+// allocs/op where the run reported them. The `-cpu` suffix goroutine
+// counts (`BenchmarkPut-8`) are stripped so the keys stay stable across
+// machines; non-benchmark lines (PASS, ok, warm-up chatter) are
+// ignored. Used by `make bench-json` to produce BENCH_directload.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's parsed figures. Fields the run did not
+// report (e.g. allocs without -benchmem) are omitted from the JSON.
+type result struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	OpsPerSec   float64  `json:"ops_per_sec"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Extra       []string `json:"extra,omitempty"` // custom ReportMetric units
+}
+
+// benchLine matches "BenchmarkName-8   100   12345 ns/op   ..." with
+// the -cpu suffix optional.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	results := make(map[string]*result)
+	var order []string
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := &result{Iterations: iters}
+		// The tail is value/unit pairs: "12345 ns/op 20480 B/op 3 allocs/op".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+				if v > 0 {
+					r.OpsPerSec = 1e9 / v
+				}
+			case "B/op":
+				b := v
+				r.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				r.AllocsPerOp = &a
+			default:
+				r.Extra = append(r.Extra, fields[i]+" "+unit)
+			}
+		}
+		if _, seen := results[name]; !seen {
+			order = append(order, name)
+		}
+		results[name] = r
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// Emit in first-seen order for stable diffs.
+	var buf strings.Builder
+	buf.WriteString("{\n")
+	for i, name := range order {
+		body, err := json.Marshal(results[name])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&buf, "  %q: %s", name, body)
+		if i < len(order)-1 {
+			buf.WriteString(",")
+		}
+		buf.WriteString("\n")
+	}
+	buf.WriteString("}\n")
+	os.Stdout.WriteString(buf.String())
+}

@@ -9,9 +9,13 @@
 //	qindbctl -addr 127.0.0.1:7707 load <version>                # batched key<TAB>value lines from stdin
 //	qindbctl -addr 127.0.0.1:7707 stats
 //	qindbctl -addr 127.0.0.1:7707 ping
+//	qindbctl -http 127.0.0.1:8080 trace <trace-id>              # one trace's timeline
+//	qindbctl -http 127.0.0.1:8080 slowlog [-n 20]               # recent slow operations
 //
 // -timeout bounds each operation (and the dial); load streams stdin
 // into OpBatch frames, one round trip per batch instead of per record.
+// trace and slowlog talk to the daemon's operator HTTP address (qindbd
+// -metrics-addr) instead of the storage port.
 package main
 
 import (
@@ -20,7 +24,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
@@ -31,15 +37,37 @@ import (
 )
 
 var (
-	addr    = flag.String("addr", "127.0.0.1:7707", "qindbd address")
-	timeout = flag.Duration("timeout", 5*time.Second, "per-operation deadline (0 = none)")
+	addr     = flag.String("addr", "127.0.0.1:7707", "qindbd address")
+	httpAddr = flag.String("http", "127.0.0.1:8080", "qindbd operator HTTP address (for trace/slowlog)")
+	timeout  = flag.Duration("timeout", 5*time.Second, "per-operation deadline (0 = none)")
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] [-timeout 5s] <put|putd|get|del|drop|range|load|stats|metrics|ping> [args]")
+	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] [-timeout 5s] <put|putd|get|del|drop|range|load|stats|metrics|ping|trace|slowlog> [args]")
 	fmt.Fprintln(os.Stderr, "       load <version>                  batched load of key<TAB>value lines from stdin")
 	fmt.Fprintln(os.Stderr, "       stats [-watch] [-interval 1s]   engine stats, or live metric deltas")
+	fmt.Fprintln(os.Stderr, "       trace <trace-id>                render one trace's timeline (-http address)")
+	fmt.Fprintln(os.Stderr, "       slowlog [-n N]                  recent slow operations (-http address)")
 	os.Exit(2)
+}
+
+// fetchHTTP GETs a path on the daemon's operator HTTP address and
+// copies the body to stdout.
+func fetchHTTP(path string) {
+	client := &http.Client{Timeout: *timeout}
+	url := "http://" + *httpAddr + path
+	resp, err := client.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v (is qindbd running with -metrics-addr %s?)", url, err, *httpAddr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func parseVersion(s string) uint64 {
@@ -57,6 +85,28 @@ func main() {
 	if len(args) == 0 {
 		usage()
 	}
+	cmd, args := args[0], args[1:]
+	// trace and slowlog talk to the operator HTTP address only — no
+	// reason to require the storage port to be dialable.
+	switch cmd {
+	case "trace":
+		if len(args) != 1 {
+			usage()
+		}
+		id := strings.TrimPrefix(args[0], "0x")
+		if _, err := strconv.ParseUint(id, 16, 64); err != nil {
+			log.Fatalf("bad trace id %q (want hex): %v", args[0], err)
+		}
+		fetchHTTP("/debug/trace?id=" + id)
+		return
+	case "slowlog":
+		fs := flag.NewFlagSet("slowlog", flag.ExitOnError)
+		n := fs.Int("n", 0, "show only the newest N entries (0 = all retained)")
+		fs.Parse(args)
+		fetchHTTP(fmt.Sprintf("/debug/slowlog?n=%d", *n))
+		return
+	}
+
 	cl, err := server.Dial(*addr, server.WithTimeout(*timeout))
 	if err != nil {
 		log.Fatalf("dial %s: %v", *addr, err)
@@ -64,7 +114,6 @@ func main() {
 	defer cl.Close()
 	ctx := context.Background()
 
-	cmd, args := args[0], args[1:]
 	switch cmd {
 	case "put":
 		if len(args) != 3 {
@@ -221,8 +270,40 @@ func flattenMetrics(m map[string]any) []metricKV {
 	return out
 }
 
+// watchRow is one line of the -watch view: a scalar metric's value, or
+// a histogram's count with its current p99 alongside.
+type watchRow struct {
+	name  string
+	value float64
+	p99   float64 // < 0 when the metric is not a histogram
+}
+
+// flattenWatch turns the nested OpMetrics snapshot into sorted -watch
+// rows: scalars pass through, each histogram becomes one row whose
+// value is its count and whose p99 rides in its own column (rather than
+// exploding into seven suffixed lines as the metrics command does).
+func flattenWatch(m map[string]any) []watchRow {
+	var out []watchRow
+	for name, v := range m {
+		switch val := v.(type) {
+		case float64:
+			out = append(out, watchRow{name, val, -1})
+		case map[string]any:
+			count, _ := val["count"].(float64)
+			p99 := -1.0
+			if p, ok := val["p99"].(float64); ok {
+				p99 = p
+			}
+			out = append(out, watchRow{name, count, p99})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
 // watchStats polls the server's metrics and renders per-interval deltas,
-// top-like, until the process is interrupted.
+// top-like, until the process is interrupted. Histogram rows show their
+// count plus a live p99 column.
 func watchStats(ctx context.Context, cl *server.Client, interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Second
@@ -234,19 +315,23 @@ func watchStats(ctx context.Context, cl *server.Client, interval time.Duration) 
 		if err != nil {
 			log.Fatal(err)
 		}
-		kvs := flattenMetrics(m)
+		rows := flattenWatch(m)
 		if !first {
 			fmt.Println()
 		}
-		fmt.Printf("--- %s ---\n", time.Now().Format("15:04:05"))
-		for _, kv := range kvs {
-			delta := kv.value - prev[kv.name]
-			if first || delta == 0 {
-				fmt.Printf("%-48s %14g\n", kv.name, kv.value)
-			} else {
-				fmt.Printf("%-48s %14g  %+g\n", kv.name, kv.value, delta)
+		fmt.Printf("--- %-44s %14s %12s %12s ---\n",
+			time.Now().Format("15:04:05"), "value", "delta", "p99")
+		for _, row := range rows {
+			delta := ""
+			if d := row.value - prev[row.name]; !first && d != 0 {
+				delta = fmt.Sprintf("%+g", d)
 			}
-			prev[kv.name] = kv.value
+			p99 := ""
+			if row.p99 >= 0 {
+				p99 = fmt.Sprintf("%.1f", row.p99)
+			}
+			fmt.Printf("%-48s %14g %12s %12s\n", row.name, row.value, delta, p99)
+			prev[row.name] = row.value
 		}
 		first = false
 		time.Sleep(interval)

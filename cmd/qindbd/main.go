@@ -14,61 +14,64 @@
 // Clients negotiate protocol v2 automatically and may pipeline or batch
 // requests; -max-inflight bounds how many the server dispatches
 // concurrently per connection.
+//
+// With -metrics-addr set the daemon exposes the operator endpoints of
+// internal/ops: /metrics (text, ?format=json, ?format=prom), /healthz,
+// /readyz, /debug/trace, /debug/slowlog, and (with -pprof) the runtime
+// profiler under /debug/pprof/.
 package main
 
 import (
+	"context"
 	"flag"
+	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"directload/internal/aof"
 	"directload/internal/blockfs"
 	"directload/internal/core"
 	"directload/internal/metrics"
+	"directload/internal/ops"
 	"directload/internal/server"
 	"directload/internal/ssd"
 )
 
 var (
-	addr         = flag.String("addr", "127.0.0.1:7707", "listen address")
-	capacity     = flag.Int64("capacity", 1<<30, "simulated SSD capacity in bytes")
-	aofSize      = flag.Int64("aof", 64<<20, "AOF file size in bytes (paper: 64 MB)")
-	gcThresh     = flag.Float64("gc", 0.25, "lazy GC occupancy threshold (paper: 0.25)")
-	ckpt         = flag.Int64("checkpoint", 256<<20, "auto-checkpoint every N bytes (0 = off)")
-	metricsAddr  = flag.String("metrics-addr", "", "HTTP address for /metrics and /debug/trace (empty = off)")
-	maxInFlight  = flag.Int("max-inflight", 0, "concurrent requests dispatched per v2 connection (0 = default)")
-	readTimeout  = flag.Duration("read-timeout", 0, "per-frame read deadline, doubles as idle timeout (0 = none)")
-	writeTimeout = flag.Duration("write-timeout", 0, "per-frame write deadline (0 = none)")
+	addr          = flag.String("addr", "127.0.0.1:7707", "listen address")
+	capacity      = flag.Int64("capacity", 1<<30, "simulated SSD capacity in bytes")
+	aofSize       = flag.Int64("aof", 64<<20, "AOF file size in bytes (paper: 64 MB)")
+	gcThresh      = flag.Float64("gc", 0.25, "lazy GC occupancy threshold (paper: 0.25)")
+	ckpt          = flag.Int64("checkpoint", 256<<20, "auto-checkpoint every N bytes (0 = off)")
+	metricsAddr   = flag.String("metrics-addr", "", "HTTP address for the operator endpoints (empty = off)")
+	pprofOn       = flag.Bool("pprof", false, "mount /debug/pprof/* on the metrics address")
+	slowThresh    = flag.Duration("slowlog-threshold", 10*time.Millisecond, "record ops at or above this latency in /debug/slowlog (0 = off)")
+	slowCap       = flag.Int("slowlog-cap", 0, "slow-op entries retained (0 = default 256)")
+	memHighWater  = flag.Int64("memtable-highwater", 0, "report not-ready once the memtable exceeds this many bytes (0 = no check)")
+	maxInFlight   = flag.Int("max-inflight", 0, "concurrent requests dispatched per v2 connection (0 = default)")
+	readTimeout   = flag.Duration("read-timeout", 0, "per-frame read deadline, doubles as idle timeout (0 = none)")
+	writeTimeout  = flag.Duration("write-timeout", 0, "per-frame write deadline (0 = none)")
+	shutdownGrace = flag.Duration("shutdown-grace", 3*time.Second, "deadline for draining the metrics HTTP server on shutdown")
 )
 
-// serveMetricsHTTP exposes the registry over HTTP: /metrics renders the
-// expvar-style text dump (or JSON with ?format=json), /debug/trace the
-// recent span ring.
-func serveMetricsHTTP(httpAddr string, reg *metrics.Registry) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Query().Get("format") == "json" {
-			w.Header().Set("Content-Type", "application/json")
-			payload, err := reg.MarshalJSON()
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
-				return
-			}
-			w.Write(payload)
-			return
+// readiness builds the /readyz check: the engine must be open, the AOF
+// store not under space pressure, and the memtable below the high-water
+// mark (when one is configured).
+func readiness(db *core.DB, highWater int64) func() error {
+	return func() error {
+		h := db.Health()
+		switch {
+		case h.Closed:
+			return fmt.Errorf("engine closed")
+		case h.UnderPressure:
+			return fmt.Errorf("aof store under space pressure")
+		case highWater > 0 && h.MemtableBytes > highWater:
+			return fmt.Errorf("memtable %d bytes over high-water %d", h.MemtableBytes, highWater)
 		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		reg.WriteTo(w)
-	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		reg.Tracer().WriteTo(w)
-	})
-	log.Printf("qindbd: metrics on http://%s/metrics", httpAddr)
-	if err := http.ListenAndServe(httpAddr, mux); err != nil {
-		log.Printf("qindbd: metrics server: %v", err)
+		return nil
 	}
 }
 
@@ -92,17 +95,31 @@ func main() {
 	}
 	defer db.Close()
 
+	slow := metrics.NewSlowLog(*slowCap, *slowThresh)
 	s := server.New(db)
 	s.SetMetrics(reg)
+	s.SetSlowLog(slow)
 	if *maxInFlight > 0 {
 		s.SetMaxInFlight(*maxInFlight)
 	}
 	s.SetTimeouts(*readTimeout, *writeTimeout)
+
+	var opsSrv *ops.Server
 	if *metricsAddr != "" {
-		go serveMetricsHTTP(*metricsAddr, reg)
+		opsSrv, err = ops.Listen(*metricsAddr, ops.Config{
+			Registry:    reg,
+			SlowLog:     slow,
+			Ready:       readiness(db, *memHighWater),
+			EnablePprof: *pprofOn,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		go opsSrv.Serve()
+		log.Printf("qindbd: operator endpoints on http://%s/metrics", opsSrv.Addr())
 	}
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		log.Println("shutting down")
@@ -112,6 +129,15 @@ func main() {
 		*addr, *capacity>>20, *aofSize>>20, *gcThresh)
 	if err := s.ListenAndServe(*addr); err != nil {
 		log.Fatal(err)
+	}
+	// Drain the operator HTTP server under a deadline; a scrape stuck
+	// past the grace period is reported, not silently abandoned.
+	if opsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+		if err := opsSrv.Shutdown(ctx); err != nil {
+			log.Printf("qindbd: metrics server shutdown: %v", err)
+		}
+		cancel()
 	}
 	st := db.Stats()
 	log.Printf("qindbd: stopped after %d puts / %d gets, %d MB user writes",

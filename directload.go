@@ -21,6 +21,7 @@
 package directload
 
 import (
+	"context"
 	"time"
 
 	"directload/internal/aof"
@@ -30,7 +31,9 @@ import (
 	"directload/internal/core"
 	"directload/internal/indexer"
 	"directload/internal/lsm"
+	"directload/internal/metrics"
 	"directload/internal/mint"
+	"directload/internal/ops"
 	"directload/internal/server"
 	"directload/internal/ssd"
 	"directload/internal/workload"
@@ -115,6 +118,24 @@ type (
 	NodeFuture = server.Future
 	// NodeBatchError reports which sub-ops of a batch flush failed.
 	NodeBatchError = server.BatchError
+
+	// MetricsRegistry collects the whole system's counters, gauges,
+	// histograms and trace spans; pass one via StoreOptions.Metrics,
+	// SystemConfig.Metrics, Node.SetMetrics, or WithDialMetrics to
+	// instrument each layer.
+	MetricsRegistry = metrics.Registry
+	// SpanContext identifies one span of a distributed trace; clients
+	// carry it across the wire in contexts built by the registry's
+	// StartSpan.
+	SpanContext = metrics.SpanContext
+	// SlowLog is a bounded ring of operations that exceeded a latency
+	// threshold (attach with Node.SetSlowLog).
+	SlowLog = metrics.SlowLog
+	// OpsConfig wires the operator HTTP endpoints (/metrics, /healthz,
+	// /readyz, /debug/trace, /debug/slowlog) to their data sources.
+	OpsConfig = ops.Config
+	// OpsServer serves the operator endpoints with graceful shutdown.
+	OpsServer = ops.Server
 )
 
 // Common sentinel errors, re-exported for errors.Is checks.
@@ -283,6 +304,38 @@ func WithDialPoolSize(n int) NodeDialOption { return server.WithPoolSize(n) }
 // WithDialMaxInFlight bounds pipelined requests outstanding per
 // connection.
 func WithDialMaxInFlight(n int) NodeDialOption { return server.WithMaxInFlight(n) }
+
+// WithDialMetrics attaches a registry for the client-side pool gauges
+// and trace spans.
+func WithDialMetrics(reg *MetricsRegistry) NodeDialOption { return server.WithMetrics(reg) }
+
+// WithDialTracePropagation controls whether the client offers
+// distributed-trace propagation when negotiating (default on); when the
+// server grants it, calls whose context carries an active span ship it
+// in the request frame.
+func WithDialTracePropagation(enabled bool) NodeDialOption {
+	return server.WithTracePropagation(enabled)
+}
+
+// NewMetricsRegistry creates an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// SpanFromContext returns the active trace span carried by ctx, if any
+// (put one there with the registry's StartSpan).
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	return metrics.SpanFromContext(ctx)
+}
+
+// NewSlowLog creates a slow-op ring holding capacity entries (0 = 256)
+// recording operations at or above threshold (0 = disabled).
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	return metrics.NewSlowLog(capacity, threshold)
+}
+
+// ListenOps binds the operator HTTP endpoints on addr (":0" for
+// ephemeral); run the returned server's Serve on its own goroutine and
+// stop it with Shutdown under a context deadline.
+func ListenOps(addr string, cfg OpsConfig) (*OpsServer, error) { return ops.Listen(addr, cfg) }
 
 // DialMirror connects a Mirror to remote storage nodes; attach it to a
 // System with AttachMirror to replicate published versions over TCP.

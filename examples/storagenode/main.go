@@ -1,7 +1,9 @@
 // Command storagenode runs a QinDB storage node over TCP in-process and
 // talks to it through the client — the wire-level view of a single Mint
 // node serving deduplicated index data. It demonstrates the protocol v2
-// surface: context-aware calls, batched publishes, and pipelined reads.
+// surface (context-aware calls, batched publishes, pipelined reads) and
+// the operator surface: metrics, distributed tracing across the wire,
+// and the /healthz–/readyz–/debug endpoints.
 //
 //	go run ./examples/storagenode
 package main
@@ -11,19 +13,29 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"time"
 
 	"directload"
 )
 
 func main() {
+	// One registry instruments everything: the engine, the server, the
+	// client pool — and, via the ops server, exposes it all over HTTP.
+	reg := directload.NewMetricsRegistry()
+	slow := directload.NewSlowLog(0, 5*time.Millisecond)
+
 	// The node: a QinDB engine behind a TCP listener.
-	db, err := directload.OpenStore(256<<20, directload.DefaultStoreOptions())
+	opts := directload.DefaultStoreOptions()
+	opts.Metrics = reg
+	db, err := directload.OpenStore(256<<20, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 	node := directload.NewNode(db)
+	node.SetMetrics(reg)
+	node.SetSlowLog(slow)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -32,28 +44,57 @@ func main() {
 	defer node.Close()
 	fmt.Printf("storage node listening on %s\n", ln.Addr())
 
-	// The client negotiates protocol v2 automatically; WithDialTimeout
-	// bounds every call whose context carries no deadline.
+	// Operator endpoints: /metrics (?format=prom for scrapers),
+	// /healthz, /readyz, /debug/trace, /debug/slowlog.
+	opsSrv, err := directload.ListenOps("127.0.0.1:0", directload.OpsConfig{
+		Registry: reg,
+		SlowLog:  slow,
+		Ready: func() error {
+			if h := db.Health(); h.Closed || h.UnderPressure {
+				return fmt.Errorf("engine not serving")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	go opsSrv.Serve()
+	fmt.Printf("operator endpoints on http://%s/metrics\n", opsSrv.Addr())
+
+	// The client negotiates protocol v2 (and trace propagation)
+	// automatically; WithDialTimeout bounds every call whose context
+	// carries no deadline.
 	cl, err := directload.DialNode(ln.Addr().String(),
-		directload.WithDialTimeout(2*time.Second))
+		directload.WithDialTimeout(2*time.Second),
+		directload.WithDialMetrics(reg))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cl.Close()
 	ctx := context.Background()
 
-	// Publish version 1 as one batch: a single OpBatch round trip
-	// instead of one per record.
+	// Publish version 1 as one traced batch: a single OpBatch round
+	// trip instead of one per record, and — because the context carries
+	// a span — one end-to-end timeline at /debug/trace covering the
+	// client flush, the server handler, and each engine write.
+	pubCtx, endPublish := reg.StartSpan(ctx, "example.publish")
 	batch := cl.Batcher()
 	for i := 0; i < 5; i++ {
 		key := fmt.Sprintf("url/page-%02d", i)
 		value := fmt.Sprintf("content of page %d", i)
-		if err := batch.Put(ctx, []byte(key), 1, []byte(value), false); err != nil {
+		if err := batch.Put(pubCtx, []byte(key), 1, []byte(value), false); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := batch.Flush(ctx); err != nil {
+	err = batch.Flush(pubCtx)
+	endPublish(err)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if sc, ok := directload.SpanFromContext(pubCtx); ok {
+		fmt.Printf("published v1 under trace %016x:\n", sc.TraceID)
+		reg.Tracer().WriteTrace(os.Stdout, sc.TraceID)
 	}
 
 	// Version 2 arrives deduplicated for page-00 (unchanged content).
@@ -99,4 +140,13 @@ func main() {
 	}
 	fmt.Printf("node stats: %d puts, %d gets, %d bytes written, %d conns\n",
 		st.Engine.Puts, st.Engine.Gets, st.Engine.UserWriteBytes, st.Conns)
+
+	// Drain the operator HTTP server under a deadline; a shutdown error
+	// (a stuck scrape, a dead listener) is worth reporting, not
+	// discarding.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := opsSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("ops server shutdown: %v", err)
+	}
 }

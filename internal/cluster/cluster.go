@@ -260,8 +260,20 @@ func (d *DirectLoad) dcsForStream(region bifrost.Region, stream bifrost.StreamTy
 // deduplicate, slice, ship to every data center, apply on arrival, and
 // wait (in virtual time) until every DC has loaded the version. The
 // retention policy then drops versions beyond the configured limit.
-func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep UpdateReport, err error) {
-	end := d.reg.Span("cluster.publish")
+func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (UpdateReport, error) {
+	return d.PublishVersionContext(context.Background(), version, entries)
+}
+
+// PublishVersionContext is PublishVersion under a caller context. The
+// whole publish cycle runs as one trace (rooted here when ctx carries
+// no span): the dedup pass, the simulated fan-out (with one
+// virtual-duration span per slice delivery), and the remote mirror
+// publish — across the wire into each node's handler spans — all
+// nest under one "cluster.publish" root, which is what /debug/trace
+// renders as the version's timeline.
+func (d *DirectLoad) PublishVersionContext(ctx context.Context, version uint64, entries []Entry) (rep UpdateReport, err error) {
+	ctx, end := d.reg.StartSpanNote(ctx, "cluster.publish",
+		fmt.Sprintf("v%d keys=%d", version, len(entries)))
 	defer func() { end(err) }()
 	start := d.Top.Net.Now()
 	rep = UpdateReport{
@@ -272,6 +284,7 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep Update
 	}
 
 	// Bifrost: dedup and pack per stream.
+	dedupStart := time.Now()
 	builders := map[bifrost.StreamType]*bifrost.SliceBuilder{
 		bifrost.StreamSummary:  bifrost.NewSliceBuilder(version, bifrost.StreamSummary, d.cfg.SliceLimit),
 		bifrost.StreamInverted: bifrost.NewSliceBuilder(version, bifrost.StreamInverted, d.cfg.SliceLimit),
@@ -293,6 +306,15 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep Update
 	slices := map[bifrost.StreamType][]*bifrost.Slice{}
 	for st, b := range builders {
 		slices[st] = b.Finish()
+	}
+	// The dedup pass's note reports the wire savings, which only exist
+	// once the loop above finished — so the span is assembled by hand.
+	if sc, ok := metrics.SpanFromContext(ctx); ok {
+		d.reg.Tracer().RecordSpan(metrics.SpanRecord{
+			Name: "bifrost.dedup", Start: dedupStart, Dur: time.Since(dedupStart),
+			TraceID: sc.TraceID, SpanID: metrics.NewSpanID(), ParentID: sc.SpanID,
+			Note: fmt.Sprintf("elided=%dB", rep.PayloadBytes-rep.WireBytes),
+		})
 	}
 
 	// Register expectations, then ship.
@@ -317,6 +339,14 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep Update
 			rep.ReadyAt[dc.ID] = start
 		}
 	}
+	// The ship phase spans enqueueing every slice plus the virtual-time
+	// drain; while it is bound, the shipper records one virtual-duration
+	// span per slice delivery under it.
+	shipCtx, endShip := d.reg.ContinueSpan(ctx, "bifrost.ship")
+	if sc, ok := metrics.SpanFromContext(shipCtx); ok {
+		d.Shipper.BindTrace(sc, d.reg.Tracer())
+		defer d.Shipper.BindTrace(metrics.SpanContext{}, nil)
+	}
 	for _, region := range d.Top.Regions {
 		for _, st := range streamOrder {
 			targets := d.dcsForStream(region, st)
@@ -329,6 +359,7 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep Update
 					d.applySlice(del, version, &rep)
 				})
 				if err != nil {
+					endShip(err)
 					return rep, fmt.Errorf("cluster: shipping v%d: %w", version, err)
 				}
 			}
@@ -336,6 +367,7 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep Update
 	}
 	// Drain the network (virtual time).
 	d.Top.Net.Run(0)
+	endShip(nil)
 	for _, dc := range d.DCs {
 		if dc.applyErr != nil {
 			return rep, dc.applyErr
@@ -348,7 +380,7 @@ func (d *DirectLoad) PublishVersion(version uint64, entries []Entry) (rep Update
 	// Remote publish path: fan the version out to mirrored TCP nodes in
 	// batched frames before declaring it published.
 	if d.mirror != nil {
-		if err := d.mirror.PublishVersion(context.Background(), version, entries); err != nil {
+		if err := d.mirror.PublishVersion(ctx, version, entries); err != nil {
 			return rep, err
 		}
 	}

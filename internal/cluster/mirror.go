@@ -72,8 +72,12 @@ func (m *Mirror) Nodes() []string { return append([]string(nil), m.addrs...) }
 // PublishVersion ships every entry of a version to every node, batched,
 // all nodes in parallel. Dedup-stripped records are forwarded as dedup
 // puts so remote nodes resolve them against their own older versions.
+// The fan-out runs as one trace (started here if ctx carries no span):
+// each node gets its own child span, under which the batch flushes —
+// and, across the wire, the remote handler spans — nest.
 func (m *Mirror) PublishVersion(ctx context.Context, version uint64, entries []Entry) (err error) {
-	end := m.reg.Span("cluster.mirror.publish")
+	ctx, end := m.reg.StartSpanNote(ctx, "cluster.mirror.publish",
+		fmt.Sprintf("v%d entries=%d nodes=%d", version, len(entries), len(m.clients)))
 	defer func() { end(err) }()
 	errs := make([]error, len(m.clients))
 	var wg sync.WaitGroup
@@ -81,14 +85,17 @@ func (m *Mirror) PublishVersion(ctx context.Context, version uint64, entries []E
 		wg.Add(1)
 		go func(i int, cl *server.Client) {
 			defer wg.Done()
+			nctx, endNode := m.reg.StartSpanNote(ctx, "cluster.mirror.node", m.addrs[i])
 			b := cl.Batcher()
 			for _, e := range entries {
-				if err := b.Put(ctx, e.Key, version, e.Value, false); err != nil {
+				if err := b.Put(nctx, e.Key, version, e.Value, false); err != nil {
 					errs[i] = err
+					endNode(err)
 					return
 				}
 			}
-			errs[i] = b.Flush(ctx)
+			errs[i] = b.Flush(nctx)
+			endNode(errs[i])
 		}(i, cl)
 	}
 	wg.Wait()

@@ -144,6 +144,7 @@ type DB struct {
 	fs    blockfs.FS
 
 	closed         bool
+	memBytes       int64 // approximate memtable footprint (key bytes + overhead)
 	userWriteBytes int64
 	userReadBytes  int64
 	puts, gets     int64
@@ -221,8 +222,35 @@ func Open(fs blockfs.FS, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("qindb: recovery: %w", err)
 	}
+	// Seed the memtable footprint with whatever recovery rebuilt.
+	db.table.AscendAll(func(k ikey, v item) bool {
+		db.memBytes += int64(len(k.key)) + memItemOverhead
+		return true
+	})
 	db.registerDerivedMetrics()
 	return db, nil
+}
+
+// HealthReport is a point-in-time engine readiness snapshot — the
+// inputs of an operator's /readyz decision.
+type HealthReport struct {
+	Closed        bool  `json:"closed"`
+	MemtableBytes int64 `json:"memtable_bytes"`
+	// UnderPressure reports the AOF device near capacity even after GC
+	// has had its chance — writes may soon start failing.
+	UnderPressure bool `json:"under_pressure"`
+}
+
+// Health returns the engine's readiness snapshot. Usable (and cheap)
+// with or without a metrics registry.
+func (db *DB) Health() HealthReport {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return HealthReport{
+		Closed:        db.closed,
+		MemtableBytes: db.memBytes,
+		UnderPressure: db.store.UnderPressure(),
+	}
 }
 
 // registerDerivedMetrics publishes the computed gauges the experiments
@@ -234,13 +262,7 @@ func (db *DB) registerDerivedMetrics() {
 	if db.reg == nil {
 		return
 	}
-	// Seed the memtable gauge with whatever recovery rebuilt.
-	var memBytes int64
-	db.table.AscendAll(func(k ikey, v item) bool {
-		memBytes += int64(len(k.key)) + memItemOverhead
-		return true
-	})
-	db.met.memBytes.Set(memBytes)
+	db.met.memBytes.Set(db.memBytes)
 	db.reg.GaugeFunc("qindb.memtable.items", func() float64 {
 		db.mu.RLock()
 		defer db.mu.RUnlock()
@@ -315,6 +337,7 @@ func (db *DB) Put(key []byte, version uint64, value []byte, dedup bool) (time.Du
 	} else {
 		db.table.Set(ik, item{ref: ref, base: base, flags: flags})
 		db.versions[version]++
+		db.memBytes += int64(len(key)) + memItemOverhead
 		db.met.memBytes.Add(int64(len(key)) + memItemOverhead)
 	}
 	db.userWriteBytes += int64(len(key) + len(value))

@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSanitizePromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"qindb.put.latency_us", "qindb_put_latency_us"},
+		{"server.req.batch", "server_req_batch"},
+		{"aof-rotate.count", "aof_rotate_count"},
+		{"already_legal:name", "already_legal:name"},
+		{"9lives", "_9lives"},
+		{"", "_"},
+		{"mixed.CASE-42", "mixed_CASE_42"},
+		{"sp ace", "sp_ace"},
+	}
+	for _, c := range cases {
+		if got := SanitizePromName(c.in); got != c.want {
+			t.Errorf("SanitizePromName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestWritePrometheusShape checks the exposition format: HELP/TYPE
+// headers, counter and gauge samples, and histograms rendered as
+// summaries with quantiles, _sum and _count.
+func TestWritePrometheusShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("qindb.puts").Add(3)
+	r.Gauge("qindb.memtable.bytes").Set(4096)
+	r.GaugeFunc("aof.occupancy", func() float64 { return 0.5 })
+	h := r.Histogram("qindb.put.latency_us")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+
+	var sb strings.Builder
+	if _, err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP qindb_puts directload metric qindb.puts",
+		"# TYPE qindb_puts counter",
+		"qindb_puts 3",
+		"# TYPE qindb_memtable_bytes gauge",
+		"qindb_memtable_bytes 4096",
+		"# TYPE aof_occupancy gauge",
+		"aof_occupancy 0.5",
+		"# TYPE qindb_put_latency_us summary",
+		`qindb_put_latency_us{quantile="0.5"}`,
+		`qindb_put_latency_us{quantile="0.99"}`,
+		`qindb_put_latency_us{quantile="0.999"}`,
+		"qindb_put_latency_us_sum",
+		"qindb_put_latency_us_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line must start with a sanitized (legal) name.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if name != SanitizePromName(name) {
+			t.Errorf("illegal metric name on the wire: %q", line)
+		}
+	}
+}
+
+// TestWritePrometheusCollision checks that two registry names mapping
+// to one sanitized name emit only a single family (first wins) instead
+// of an invalid duplicated exposition.
+func TestWritePrometheusCollision(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.b").Add(1)
+	r.Counter("a-b").Add(2)
+
+	var sb strings.Builder
+	if _, err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE a_b counter"); got != 1 {
+		t.Fatalf("collision emitted %d a_b families, want 1:\n%s", got, out)
+	}
+	// Lexicographically first original name wins: "a-b" < "a.b".
+	if !strings.Contains(out, "a_b 2") {
+		t.Fatalf("collision winner should be a-b (value 2):\n%s", out)
+	}
+}
+
+// TestWritePrometheusNil checks the nil-registry escape hatch.
+func TestWritePrometheusNil(t *testing.T) {
+	var r *Registry
+	var sb strings.Builder
+	n, err := r.WritePrometheus(&sb)
+	if err != nil || n != 0 || sb.Len() != 0 {
+		t.Fatalf("nil registry wrote %d bytes, err %v", n, err)
+	}
+}

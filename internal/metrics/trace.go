@@ -13,11 +13,17 @@ const defaultTraceCap = 1024
 
 // SpanRecord is one completed span: a named, timestamped interval such
 // as a GC cycle, an AOF rotation, a relay hop, or a recovery phase.
+// Spans created inside a distributed trace (see StartSpan) additionally
+// carry their trace lineage; process-local spans leave those fields 0.
 type SpanRecord struct {
-	Name  string        `json:"name"`
-	Start time.Time     `json:"start"`
-	Dur   time.Duration `json:"dur"`
-	Err   string        `json:"err,omitempty"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Dur      time.Duration `json:"dur"`
+	Err      string        `json:"err,omitempty"`
+	TraceID  uint64        `json:"trace_id,omitempty"`
+	SpanID   uint64        `json:"span_id,omitempty"`
+	ParentID uint64        `json:"parent_id,omitempty"`
+	Note     string        `json:"note,omitempty"`
 }
 
 // Tracer keeps a bounded ring buffer of completed spans plus a latency
@@ -71,6 +77,16 @@ func (t *Tracer) record(name string, start time.Time, dur time.Duration, err err
 	if err != nil {
 		rec.Err = err.Error()
 	}
+	t.RecordSpan(rec)
+}
+
+// RecordSpan inserts a pre-built record — the escape hatch for spans
+// whose duration is not wall time (e.g. the network simulator's virtual
+// ship times) or that were completed elsewhere. No-op on a nil tracer.
+func (t *Tracer) RecordSpan(rec SpanRecord) {
+	if t == nil {
+		return
+	}
 	t.mu.Lock()
 	t.total++
 	if len(t.ring) < t.limit {
@@ -79,13 +95,13 @@ func (t *Tracer) record(name string, start time.Time, dur time.Duration, err err
 		t.ring[t.next] = rec
 		t.next = (t.next + 1) % t.limit
 	}
-	h := t.hists[name]
+	h := t.hists[rec.Name]
 	if h == nil {
 		h = NewHistogram(registryHistCap)
-		t.hists[name] = h
+		t.hists[rec.Name] = h
 	}
 	t.mu.Unlock()
-	h.Observe(float64(dur) / float64(time.Microsecond))
+	h.Observe(float64(rec.Dur) / float64(time.Microsecond))
 }
 
 // Count returns how many spans were ever recorded (including those that
@@ -131,6 +147,83 @@ func (t *Tracer) Latencies() map[string]Snapshot {
 	return out
 }
 
+// Trace returns the retained spans of one trace in start order
+// (stable-sorted, so equal timestamps keep ring order).
+func (t *Tracer) Trace(id uint64) []SpanRecord {
+	if t == nil || id == 0 {
+		return nil
+	}
+	var out []SpanRecord
+	for _, rec := range t.Spans() {
+		if rec.TraceID == id {
+			out = append(out, rec)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// WriteTrace renders one trace as an indented timeline: each span on a
+// line with its offset from the trace's first span, duration, note and
+// error, children nested under their parents. Spans whose parent was
+// evicted from the ring surface at top level rather than vanishing.
+func (t *Tracer) WriteTrace(w io.Writer, id uint64) (int64, error) {
+	spans := t.Trace(id)
+	var total int64
+	write := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if len(spans) == 0 {
+		return total, write("trace %016x: no spans retained\n", id)
+	}
+	t0 := spans[0].Start
+	byID := make(map[uint64]bool, len(spans))
+	children := make(map[uint64][]SpanRecord, len(spans))
+	var roots []SpanRecord
+	for _, s := range spans {
+		byID[s.SpanID] = true
+	}
+	for _, s := range spans {
+		if s.ParentID != 0 && byID[s.ParentID] {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	if err := write("trace %016x: %d spans\n", id, len(spans)); err != nil {
+		return total, err
+	}
+	var dump func(s SpanRecord, depth int) error
+	dump = func(s SpanRecord, depth int) error {
+		suffix := ""
+		if s.Note != "" {
+			suffix += " " + s.Note
+		}
+		if s.Err != "" {
+			suffix += " err=" + s.Err
+		}
+		if err := write("%*s+%-12s %-28s %12s%s\n",
+			2*depth, "", s.Start.Sub(t0).Round(time.Microsecond).String(),
+			s.Name, s.Dur.Round(time.Microsecond), suffix); err != nil {
+			return err
+		}
+		for _, c := range children[s.SpanID] {
+			if err := dump(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := dump(r, 1); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 // WriteTo dumps the per-name latency summaries followed by the retained
 // spans, newest last — the /debug/trace page.
 func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
@@ -155,8 +248,14 @@ func (t *Tracer) WriteTo(w io.Writer) (int64, error) {
 	}
 	for _, rec := range t.Spans() {
 		suffix := ""
+		if rec.TraceID != 0 {
+			suffix += fmt.Sprintf(" trace=%016x", rec.TraceID)
+		}
+		if rec.Note != "" {
+			suffix += " " + rec.Note
+		}
 		if rec.Err != "" {
-			suffix = " err=" + rec.Err
+			suffix += " err=" + rec.Err
 		}
 		if err := write("%s %s %s%s\n",
 			rec.Start.Format(time.RFC3339Nano), rec.Name, rec.Dur, suffix); err != nil {

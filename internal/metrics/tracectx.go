@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"context"
+	"os"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext identifies one span within one distributed trace. It is
+// what crosses process boundaries: the wire protocol carries the pair
+// (TraceID, SpanID) so a remote server can parent its own spans under
+// the caller's. The zero value means "no trace".
+type SpanContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a real trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 }
+
+// ctxKey is the context.Context key for the active span.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying sc as the active span.
+// An invalid sc returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// SpanFromContext returns the active span, if any.
+func SpanFromContext(ctx context.Context) (SpanContext, bool) {
+	sc, ok := ctx.Value(ctxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// idState seeds span/trace ID generation: a per-process random-ish base
+// (clock entropy mixed with the pid) plus an atomic counter, fed through
+// a splitmix64 finalizer. IDs are unique within a process and collide
+// across processes only with the usual birthday odds — fine for an
+// operator debugging aid, and crucially allocation- and lock-free.
+var idCounter atomic.Uint64
+
+func init() {
+	idCounter.Store(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32)
+}
+
+// NewSpanID returns a fresh span (or trace) identifier — for callers
+// that assemble SpanRecords by hand and feed them to Tracer.RecordSpan,
+// such as the network simulator's virtual-duration delivery spans.
+func NewSpanID() uint64 { return newID() }
+
+// newID returns a non-zero identifier.
+func newID() uint64 {
+	for {
+		x := idCounter.Add(0x9E3779B97F4A7C15) // splitmix64 increment
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		if x != 0 {
+			return x
+		}
+	}
+}
+
+// StartSpan begins a span under ctx's active span — or, when ctx
+// carries none, starts a NEW trace with this span as its root. The
+// returned context carries the new span (propagate it into child calls
+// and across the wire); the closer records the span with its trace
+// lineage. On a nil tracer the context passes through unchanged and the
+// closer is a no-op.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, func(err error)) {
+	return t.startSpan(ctx, name, "", true)
+}
+
+// ContinueSpan is StartSpan restricted to existing traces: when ctx
+// carries no active span it records nothing and returns ctx unchanged.
+// Servers use it so untraced requests do not each mint a fresh trace.
+func (t *Tracer) ContinueSpan(ctx context.Context, name string) (context.Context, func(err error)) {
+	return t.startSpan(ctx, name, "", false)
+}
+
+// StartSpanNote is StartSpan with a free-form annotation stored on the
+// record (an address, a byte count) — the timeline renders it verbatim.
+func (t *Tracer) StartSpanNote(ctx context.Context, name, note string) (context.Context, func(err error)) {
+	return t.startSpan(ctx, name, note, true)
+}
+
+// ContinueSpanNote is ContinueSpan with an annotation.
+func (t *Tracer) ContinueSpanNote(ctx context.Context, name, note string) (context.Context, func(err error)) {
+	return t.startSpan(ctx, name, note, false)
+}
+
+func (t *Tracer) startSpan(ctx context.Context, name, note string, root bool) (context.Context, func(err error)) {
+	if t == nil {
+		return ctx, noopEnd
+	}
+	parent, ok := SpanFromContext(ctx)
+	if !ok && !root {
+		return ctx, noopEnd
+	}
+	sc := SpanContext{TraceID: parent.TraceID, SpanID: newID()}
+	if sc.TraceID == 0 {
+		sc.TraceID = newID()
+	}
+	start := time.Now()
+	return ContextWithSpan(ctx, sc), func(err error) {
+		rec := SpanRecord{
+			Name: name, Start: start, Dur: time.Since(start),
+			TraceID: sc.TraceID, SpanID: sc.SpanID, ParentID: parent.SpanID,
+			Note: note,
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		t.RecordSpan(rec)
+	}
+}
+
+// StartSpan begins a span on the registry's tracer (see Tracer.StartSpan).
+// Safe on a nil registry.
+func (r *Registry) StartSpan(ctx context.Context, name string) (context.Context, func(err error)) {
+	return r.Tracer().StartSpan(ctx, name)
+}
+
+// ContinueSpan continues an existing trace on the registry's tracer
+// (see Tracer.ContinueSpan). Safe on a nil registry.
+func (r *Registry) ContinueSpan(ctx context.Context, name string) (context.Context, func(err error)) {
+	return r.Tracer().ContinueSpan(ctx, name)
+}
+
+// StartSpanNote is StartSpan with an annotation. Safe on a nil registry.
+func (r *Registry) StartSpanNote(ctx context.Context, name, note string) (context.Context, func(err error)) {
+	return r.Tracer().StartSpanNote(ctx, name, note)
+}
+
+// ContinueSpanNote is ContinueSpan with an annotation. Safe on a nil
+// registry.
+func (r *Registry) ContinueSpanNote(ctx context.Context, name, note string) (context.Context, func(err error)) {
+	return r.Tracer().ContinueSpanNote(ctx, name, note)
+}

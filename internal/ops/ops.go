@@ -1,0 +1,205 @@
+// Package ops is the operator-facing HTTP surface shared by qindbd and
+// embedding programs: metrics exposition (text, JSON, Prometheus),
+// trace timelines, the slow-op log, liveness/readiness probes, and —
+// behind a switch — the runtime profiler. One mux, one graceful server,
+// so every binary exposes the same endpoints the docs describe:
+//
+//	/metrics             text dump; ?format=json | ?format=prom
+//	/debug/trace         span ring + latency summaries; ?id=<hex> for
+//	                     one trace's timeline; ?format=json
+//	/debug/slowlog       slow operations, oldest first; ?n=<count>,
+//	                     ?format=json
+//	/healthz             200 while the process is up
+//	/readyz              200 when Ready() returns nil, 503 otherwise
+//	/debug/pprof/*       net/http/pprof, only when EnablePprof is set
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"directload/internal/metrics"
+)
+
+// Config wires the endpoints to their data sources. Nil fields disable
+// the corresponding endpoint gracefully (empty output or 404, never a
+// panic).
+type Config struct {
+	// Registry backs /metrics and /debug/trace.
+	Registry *metrics.Registry
+	// SlowLog backs /debug/slowlog.
+	SlowLog *metrics.SlowLog
+	// Ready, when set, backs /readyz: nil means ready, an error is
+	// reported with a 503. When unset /readyz behaves like /healthz.
+	Ready func() error
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints can stall a loaded process and
+	// should be an explicit operator decision.
+	EnablePprof bool
+}
+
+// NewMux builds the operator mux for cfg.
+func NewMux(cfg Config) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "json":
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(cfg.Registry)
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			cfg.Registry.WritePrometheus(w)
+		default:
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			cfg.Registry.WriteTo(w)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		tracer := cfg.Registry.Tracer()
+		if idStr := q.Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+				return
+			}
+			if q.Get("format") == "json" {
+				w.Header().Set("Content-Type", "application/json")
+				spans := tracer.Trace(id)
+				if spans == nil {
+					spans = []metrics.SpanRecord{}
+				}
+				json.NewEncoder(w).Encode(spans)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			tracer.WriteTrace(w, id)
+			return
+		}
+		if q.Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			spans := tracer.Spans()
+			if spans == nil {
+				spans = []metrics.SpanRecord{}
+			}
+			json.NewEncoder(w).Encode(spans)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		tracer.WriteTo(w)
+	})
+	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		n := 0
+		if nStr := q.Get("n"); nStr != "" {
+			v, err := strconv.Atoi(nStr)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n (want non-negative integer)", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		if q.Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			entries := cfg.SlowLog.Entries(n)
+			if entries == nil {
+				entries = []metrics.SlowEntry{}
+			}
+			json.NewEncoder(w).Encode(entries)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if n > 0 {
+			for _, e := range cfg.SlowLog.Entries(n) {
+				fmt.Fprintf(w, "%s %s %q %s\n", e.Time.Format("15:04:05.000"), e.Op, e.Key, e.Dur)
+			}
+			return
+		}
+		cfg.SlowLog.WriteTo(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Ready != nil {
+			if err := cfg.Ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Write([]byte("ready\n"))
+	})
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a listening operator HTTP server with graceful shutdown.
+type Server struct {
+	srv *http.Server
+	ln  net.Listener
+
+	mu      sync.Mutex
+	serveCh chan error // buffered; Serve's outcome for Shutdown to read
+}
+
+// Listen binds addr (":0" for ephemeral) and returns a server ready to
+// Serve. Binding eagerly — rather than inside Serve — lets callers
+// print the resolved address before requests arrive.
+func Listen(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		srv:     &http.Server{Handler: NewMux(cfg)},
+		ln:      ln,
+		serveCh: make(chan error, 1),
+	}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve blocks serving requests until Shutdown (returning nil) or a
+// listener failure (returning it). Run it on its own goroutine.
+func (s *Server) Serve() error {
+	err := s.srv.Serve(s.ln)
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	s.serveCh <- err
+	return err
+}
+
+// Shutdown stops the server gracefully: no new connections, in-flight
+// requests run to completion, bounded by ctx's deadline. It returns
+// ctx's error if the deadline expired first, or Serve's listener error
+// if the serve loop had already failed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.srv.Shutdown(ctx)
+	select {
+	case serr := <-s.serveCh:
+		if err == nil {
+			err = serr
+		}
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}

@@ -23,6 +23,7 @@ type dialOptions struct {
 	poolSize    int           // connections in the pool
 	maxInFlight int           // per-connection pipelining bound
 	maxProto    int           // highest protocol version to negotiate
+	noTrace     bool          // do not offer the trace feature in the hello
 	reg         *metrics.Registry
 }
 
@@ -60,6 +61,17 @@ func WithMaxProtocol(v int) DialOption {
 			o.maxProto = v
 		}
 	}
+}
+
+// WithTracePropagation controls whether the client offers the trace
+// feature when negotiating v2 (default on). When granted by the server,
+// any call whose context carries an active span (see
+// metrics.ContextWithSpan) ships that span's identity in the request
+// frame, and the server parents its handler spans under it. Calls with
+// no active span are wire-identical to a trace-less connection, so
+// leaving this on costs nothing until a trace is started.
+func WithTracePropagation(enabled bool) DialOption {
+	return func(o *dialOptions) { o.noTrace = !enabled }
 }
 
 // WithMetrics attaches a registry for the client-side pool gauges:
@@ -132,6 +144,18 @@ func (c *Client) Proto() int {
 		return 0
 	}
 	return c.conns[0].proto
+}
+
+// TraceEnabled reports whether the server granted the trace feature (on
+// the first pooled connection) — i.e. whether span contexts actually
+// cross the wire on this client.
+func (c *Client) TraceEnabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.conns) == 0 || c.conns[0] == nil {
+		return false
+	}
+	return c.conns[0].feats&helloFeatTrace != 0
 }
 
 // Close tears down every pooled connection.
@@ -426,6 +450,7 @@ type wireConn struct {
 	c     net.Conn
 	br    *bufio.Reader // sole reader: v1 serializes reads, v2 reads only in readLoop
 	proto int
+	feats uint8 // feature bits the server granted (helloFeat*)
 
 	wmu sync.Mutex // serializes frame writes (and whole v1 round trips)
 
@@ -472,9 +497,19 @@ func dialWire(addr string, o dialOptions) (*wireConn, error) {
 }
 
 // negotiate sends the hello and interprets the answer. A StatusError
-// reply means the server predates OpHello; the connection stays v1.
+// reply means the server predates OpHello; the connection stays v1. The
+// hello's Value carries the offered feature bits: a feature-aware
+// server answers with a second payload byte naming the granted subset,
+// an older server ignores the Value and answers one byte — either way
+// the connection comes up with the right feature set.
 func (w *wireConn) negotiate(o dialOptions) error {
-	body, err := encodeRequest(request{Op: OpHello, Version: uint64(o.maxProto)})
+	hello := request{Op: OpHello, Version: uint64(o.maxProto)}
+	var offered uint8
+	if !o.noTrace {
+		offered = helloFeatTrace
+		hello.Value = []byte{offered}
+	}
+	body, err := encodeRequest(hello)
 	if err != nil {
 		return err
 	}
@@ -496,11 +531,14 @@ func (w *wireConn) negotiate(o dialOptions) error {
 	if status != StatusOK {
 		return nil // legacy server: "unknown op", stay on v1
 	}
-	if len(payload) != 1 {
+	if len(payload) != 1 && len(payload) != 2 {
 		return fmt.Errorf("qindb client: malformed hello reply (%d bytes)", len(payload))
 	}
 	if v := int(payload[0]); v >= ProtoV2 && v <= MaxProto {
 		w.proto = v
+	}
+	if len(payload) == 2 && w.proto >= ProtoV2 {
+		w.feats = payload[1] & offered
 	}
 	return nil
 }
@@ -605,8 +643,22 @@ func (w *wireConn) sendV2(ctx context.Context, body []byte) (pendingCall, error)
 	w.pend[seq] = ch
 	w.pmu.Unlock()
 
+	// On a trace-negotiated connection a call whose context carries an
+	// active span ships it: the seq's high bit flags the frame and the
+	// trace header rides before the op. The pending map and the response
+	// always use the unflagged seq.
+	var sc metrics.SpanContext
+	traced := false
+	if w.feats&helloFeatTrace != 0 {
+		sc, traced = metrics.SpanFromContext(ctx)
+		traced = traced && sc.Valid()
+	}
 	w.fmu.Lock()
-	w.fbuf = appendFrameSeq(w.fbuf, seq, body)
+	if traced {
+		w.fbuf = appendFrameSeqTrace(w.fbuf, seq|seqTraceFlag, sc, body)
+	} else {
+		w.fbuf = appendFrameSeq(w.fbuf, seq, body)
+	}
 	w.fmu.Unlock()
 	select {
 	case w.fsig <- struct{}{}:

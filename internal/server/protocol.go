@@ -26,6 +26,16 @@
 // clients never send OpHello, so they keep speaking v1 against new
 // servers — both directions interoperate.
 //
+// A client may additionally offer optional features in the hello's
+// Value field (byte 0 = feature bits; today only bit 0, trace-context
+// propagation). A server that understands features answers with a
+// TWO-byte payload — accepted version, accepted feature bits — but only
+// when the client offered features, so clients that predate them still
+// get the one-byte reply they expect. Servers that predate features
+// ignore the Value field and answer one byte, which the offering client
+// reads as "no features": v2-without-trace interop needs no flag day
+// either.
+//
 // # Protocol v2 (pipelined)
 //
 // Every frame gains a per-request sequence number directly after the
@@ -40,6 +50,23 @@
 // may arrive in any order — seq matches a response to its request.
 // Operations pipelined concurrently may execute in any order, so
 // dependent operations must wait for their predecessor's response.
+//
+// # Trace context (v2, negotiated)
+//
+// On a connection that negotiated the trace feature, a request frame
+// whose seq has its high bit set carries a 16-byte trace-context field
+// between seq and the op byte:
+//
+//	request: len u32 | seq u32 (bit31=1) | traceID u64 | parentSpanID u64 | op u8 | ...
+//
+// The client injects the active span from its context.Context; the
+// server parents every span the request produces (the handler span and,
+// for OpBatch, each sub-op span) under (traceID, parentSpanID), which is
+// what stitches one publish's fan-out into a single cross-node trace.
+// Untraced requests never set the bit and pay nothing. Response frames
+// never carry trace context, and seq is echoed back without the flag
+// bit (sequence numbers are 31-bit on trace-enabled connections —
+// exhausting them would take decades on one connection).
 //
 // # OpBatch
 //
@@ -80,6 +107,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"directload/internal/metrics"
 )
 
 // Protocol ops.
@@ -109,6 +138,22 @@ const (
 	// MaxProto is the highest version this package speaks.
 	MaxProto = ProtoV2
 )
+
+// Optional feature bits offered in OpHello's Value field (byte 0) and
+// echoed in the second byte of a two-byte hello reply.
+const (
+	// helloFeatTrace: v2 request frames may carry a 16-byte trace
+	// context flagged by seqTraceFlag.
+	helloFeatTrace uint8 = 1 << 0
+)
+
+// seqTraceFlag marks a v2 request frame that carries a trace-context
+// field. Responses never set it; the server masks it off before echo.
+const seqTraceFlag uint32 = 1 << 31
+
+// traceHeaderLen is the size of the trace-context field: traceID u64 |
+// parentSpanID u64.
+const traceHeaderLen = 16
 
 // opNames labels ops for per-opcode metric names.
 var opNames = [opMax + 1]string{
@@ -194,6 +239,29 @@ func appendFrameSeq(buf []byte, seq uint32, body []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)+4))
 	buf = binary.LittleEndian.AppendUint32(buf, seq)
 	return append(buf, body...)
+}
+
+// appendFrameSeqTrace appends one v2 request frame carrying a
+// trace-context field; seq must already have seqTraceFlag set.
+func appendFrameSeqTrace(buf []byte, seq uint32, sc metrics.SpanContext, body []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(body)+4+traceHeaderLen))
+	buf = binary.LittleEndian.AppendUint32(buf, seq)
+	buf = binary.LittleEndian.AppendUint64(buf, sc.TraceID)
+	buf = binary.LittleEndian.AppendUint64(buf, sc.SpanID)
+	return append(buf, body...)
+}
+
+// splitTraceHeader strips the trace-context field off a flagged request
+// body, returning the remote span context and the request body proper.
+func splitTraceHeader(body []byte) (metrics.SpanContext, []byte, error) {
+	if len(body) < traceHeaderLen {
+		return metrics.SpanContext{}, nil, fmt.Errorf("%w: short trace header", ErrBadFrame)
+	}
+	sc := metrics.SpanContext{
+		TraceID: binary.LittleEndian.Uint64(body),
+		SpanID:  binary.LittleEndian.Uint64(body[8:]),
+	}
+	return sc, body[traceHeaderLen:], nil
 }
 
 // readFrameSeq reads one v2 frame, returning its sequence number and

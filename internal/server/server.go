@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"log"
@@ -51,6 +52,9 @@ type Server struct {
 	readTimeout  atomic.Int64 // nanoseconds; 0 disables
 	writeTimeout atomic.Int64 // nanoseconds; 0 disables
 	maxProto     atomic.Int32
+	noTrace      atomic.Bool // refuse the trace feature in hellos
+
+	slow atomic.Pointer[metrics.SlowLog]
 
 	reg *metrics.Registry
 	met serverMetrics
@@ -138,6 +142,27 @@ func (s *Server) SetMaxProtocol(v int) {
 		v = MaxProto
 	}
 	s.maxProto.Store(int32(v))
+}
+
+// SetTracePropagation controls whether the server grants the trace
+// feature to clients that offer it (default on). Turning it off makes
+// the server negotiate like a build that predates tracing — used for
+// interop tests and as an operator kill switch. Safe at runtime;
+// applies to hellos received after the call.
+func (s *Server) SetTracePropagation(enabled bool) {
+	s.noTrace.Store(!enabled)
+}
+
+// SetSlowLog attaches a slow-op log; every dispatched request whose
+// wall-clock latency reaches the log's threshold is recorded with its
+// opcode, key prefix, and trace ID. Nil detaches. Safe at runtime.
+func (s *Server) SetSlowLog(l *metrics.SlowLog) {
+	s.slow.Store(l)
+}
+
+// SlowLog returns the attached slow-op log (nil when none).
+func (s *Server) SlowLog() *metrics.SlowLog {
+	return s.slow.Load()
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
@@ -247,18 +272,25 @@ func (s *Server) handle(conn net.Conn) {
 			s.met.badReqs.Inc()
 			resp = encodeResponse(StatusFailed, []byte(err.Error()))
 		case req.Op == OpHello:
-			accepted := s.negotiate(req)
-			resp = encodeResponse(StatusOK, []byte{byte(accepted)})
+			accepted, feats, featReply := s.negotiate(req)
+			payload := []byte{byte(accepted)}
+			if featReply {
+				// Only clients that offered features expect (and
+				// tolerate) the second byte; older clients reject any
+				// hello reply that is not exactly one byte.
+				payload = append(payload, feats)
+			}
+			resp = encodeResponse(StatusOK, payload)
 			if err := s.writeResp(conn, resp); err != nil {
 				return
 			}
 			if accepted >= ProtoV2 {
-				s.handleV2(conn, br)
+				s.handleV2(conn, br, feats&helloFeatTrace != 0)
 				return
 			}
 			continue
 		default:
-			resp = s.dispatch(req, ProtoV1)
+			resp = s.dispatch(context.Background(), req, ProtoV1)
 		}
 		if err := s.writeResp(conn, resp); err != nil {
 			return
@@ -274,16 +306,27 @@ func (s *Server) writeResp(conn net.Conn, resp []byte) error {
 	return writeFrame(conn, resp)
 }
 
-// negotiate picks the protocol version for a hello request.
-func (s *Server) negotiate(req request) int {
-	accepted := int(req.Version)
+// negotiate picks the protocol version and feature set for a hello
+// request. featReply reports whether the client offered feature bits
+// (hello Value non-empty) and therefore expects the two-byte
+// [version, flags] reply; clients that sent a bare hello get the
+// legacy one-byte reply so pre-feature builds interop unchanged.
+func (s *Server) negotiate(req request) (accepted int, feats uint8, featReply bool) {
+	accepted = int(req.Version)
 	if mp := int(s.maxProto.Load()); accepted > mp {
 		accepted = mp
 	}
 	if accepted < ProtoV1 {
 		accepted = ProtoV1
 	}
-	return accepted
+	if len(req.Value) == 0 {
+		return accepted, 0, false
+	}
+	offered := req.Value[0]
+	if accepted >= ProtoV2 && offered&helloFeatTrace != 0 && !s.noTrace.Load() {
+		feats |= helloFeatTrace
+	}
+	return accepted, feats, true
 }
 
 // seqResp pairs a response body with the sequence number it answers.
@@ -297,8 +340,11 @@ type seqResp struct {
 // pushes back through TCP flow control), each dispatched on its own
 // goroutine; a single writer goroutine serializes the out-of-order
 // completions back onto the wire, coalescing whatever has accumulated
-// into one write per syscall.
-func (s *Server) handleV2(conn net.Conn, br *bufio.Reader) {
+// into one write per syscall. When the trace feature was negotiated
+// (traceOK), request frames whose seq carries seqTraceFlag are preceded
+// by a trace header; the span context it names parents every span the
+// handler records, and the flag is masked off before the seq is echoed.
+func (s *Server) handleV2(conn net.Conn, br *bufio.Reader, traceOK bool) {
 	maxInFlight := int(s.maxInFlight.Load())
 	respCh := make(chan seqResp, maxInFlight)
 	writerDone := make(chan struct{})
@@ -342,25 +388,35 @@ func (s *Server) handleV2(conn net.Conn, br *bufio.Reader) {
 		if err != nil {
 			break
 		}
-		req, derr := decodeRequest(body)
+		var sc metrics.SpanContext
+		var derr error
+		if traceOK && seq&seqTraceFlag != 0 {
+			seq &^= seqTraceFlag
+			sc, body, derr = splitTraceHeader(body)
+		}
+		var req request
+		if derr == nil {
+			req, derr = decodeRequest(body)
+		}
 		sem <- struct{}{}
 		s.met.inflight.Add(1)
 		wg.Add(1)
-		go func(seq uint32, req request, derr error) {
+		go func(seq uint32, req request, sc metrics.SpanContext, derr error) {
 			defer wg.Done()
 			var resp []byte
 			if derr != nil {
 				s.met.badReqs.Inc()
 				resp = encodeResponse(StatusFailed, []byte(derr.Error()))
 			} else {
-				resp = s.dispatch(req, ProtoV2)
+				ctx := metrics.ContextWithSpan(context.Background(), sc)
+				resp = s.dispatch(ctx, req, ProtoV2)
 			}
 			// Decrement before queueing the response so the gauge
 			// never reads >0 after the client has seen every reply.
 			s.met.inflight.Add(-1)
 			respCh <- seqResp{seq: seq, body: resp}
 			<-sem
-		}(seq, req, derr)
+		}(seq, req, sc, derr)
 	}
 	wg.Wait()
 	close(respCh)
@@ -369,20 +425,43 @@ func (s *Server) handleV2(conn net.Conn, br *bufio.Reader) {
 
 // dispatch executes one request against the engine, timing it with the
 // wall clock (the client-visible latency, unlike the engine's simulated
-// device cost).
-func (s *Server) dispatch(req request, proto int) []byte {
+// device cost). A traced request additionally gets a handler span
+// parented under the caller's, and any attached slow-op log sees every
+// request that crosses its threshold.
+func (s *Server) dispatch(ctx context.Context, req request, proto int) []byte {
 	if req.Op < OpPut || req.Op > opMax || req.Op == OpHello {
 		s.met.badReqs.Inc()
 		return encodeResponse(StatusFailed, []byte("unknown op"))
 	}
+	sc, traced := metrics.SpanFromContext(ctx)
+	var end func(error)
+	if traced {
+		ctx, end = s.reg.ContinueSpan(ctx, "server.req."+opNames[req.Op])
+	}
 	start := time.Now()
-	resp := s.dispatchOp(req, proto)
+	resp := s.dispatchOp(ctx, req, proto)
+	elapsed := time.Since(start)
 	s.met.reqs[req.Op].Inc()
-	s.met.lat[req.Op].Observe(float64(time.Since(start)) / float64(time.Microsecond))
+	s.met.lat[req.Op].Observe(float64(elapsed) / float64(time.Microsecond))
+	slow := s.slow.Load()
+	if end != nil || slow != nil {
+		var msg string
+		if st, payload, derr := decodeResponse(resp); derr == nil && st != StatusOK {
+			msg = string(payload)
+		}
+		if end != nil {
+			if msg == "" {
+				end(nil)
+			} else {
+				end(errors.New(msg))
+			}
+		}
+		slow.Maybe(opNames[req.Op], req.Key, elapsed, sc.TraceID, msg)
+	}
 	return resp
 }
 
-func (s *Server) dispatchOp(req request, proto int) []byte {
+func (s *Server) dispatchOp(ctx context.Context, req request, proto int) []byte {
 	switch req.Op {
 	case OpPing:
 		return encodeResponse(StatusOK, []byte("pong"))
@@ -433,7 +512,7 @@ func (s *Server) dispatchOp(req request, proto int) []byte {
 		}
 		return encodeResponse(StatusOK, encodeRangeEntries(entries))
 	case OpBatch:
-		return s.dispatchBatch(req)
+		return s.dispatchBatch(ctx, req)
 	case OpMetrics:
 		if s.reg == nil {
 			return encodeResponse(StatusOK, []byte("{}"))
@@ -450,16 +529,23 @@ func (s *Server) dispatchOp(req request, proto int) []byte {
 
 // dispatchBatch applies the sub-ops of one OpBatch frame in one pass.
 // Sub-op failures are reported individually; the frame itself succeeds
-// unless it is malformed.
-func (s *Server) dispatchBatch(req request) []byte {
+// unless it is malformed. Inside a trace each sub-op records its own
+// "server.batch.<op>" span parented under the batch handler's span, so
+// the publish timeline shows the engine writes, not just the frame.
+func (s *Server) dispatchBatch(ctx context.Context, req request) []byte {
 	ops, err := decodeBatch(req.Value, int(req.Version))
 	if err != nil {
 		s.met.badReqs.Inc()
 		return encodeResponse(StatusFailed, []byte(err.Error()))
 	}
+	_, traced := metrics.SpanFromContext(ctx)
 	statuses := make([]subStatus, len(ops))
 	for i, op := range ops {
 		var err error
+		var endSub func(error)
+		if traced && int(op.Op) < len(opNames) {
+			_, endSub = s.reg.ContinueSpan(ctx, "server.batch."+opNames[op.Op])
+		}
 		switch op.Op {
 		case OpPut, OpPutDedup:
 			_, err = s.db.Put(op.Key, op.Version, op.Value, op.Op == OpPutDedup)
@@ -469,6 +555,9 @@ func (s *Server) dispatchBatch(req request) []byte {
 			_, _, err = s.db.DropVersion(op.Version)
 		default:
 			err = errors.New("op not batchable")
+		}
+		if endSub != nil {
+			endSub(err)
 		}
 		statuses[i] = subStatusOf(err)
 	}
