@@ -22,16 +22,18 @@ bench:
 # cmd/benchjson (name -> ops/s, ns/op, B/op, allocs/op).
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkRemotePublish' -benchmem -benchtime 20x ./internal/server/ > .bench.out
+	$(GO) test -run xxx -bench 'BenchmarkFleet' -benchmem -benchtime 20x ./internal/fleet/ >> .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkPut20KB$$|BenchmarkGet20KB|BenchmarkGetDedup|BenchmarkDel|BenchmarkRecovery|BenchmarkPut20KBInstrumented' -benchmem -benchtime 50x ./internal/core/ >> .bench.out
 	$(GO) run ./cmd/benchjson < .bench.out > BENCH_directload.json
 	rm -f .bench.out
 	@echo wrote BENCH_directload.json
 
 # Full pre-merge gate: compile, vet, unit tests, then the race detector
-# over the concurrency-heavy network and cluster packages. benchjson is
-# built (not run) as a smoke test so bench-json can't rot unnoticed.
+# over the concurrency-heavy network, cluster and fleet packages.
+# benchjson is built (not run) as a smoke test so bench-json can't rot
+# unnoticed.
 check: build vet test
-	$(GO) test -race ./internal/server/... ./internal/cluster/...
+	$(GO) test -race ./internal/server/... ./internal/cluster/... ./internal/fleet/...
 	$(GO) build -o /dev/null ./cmd/benchjson
 
 clean:

@@ -7,7 +7,10 @@
 // allocs/op where the run reported them. The `-cpu` suffix goroutine
 // counts (`BenchmarkPut-8`) are stripped so the keys stay stable across
 // machines; non-benchmark lines (PASS, ok, warm-up chatter) are
-// ignored. Used by `make bench-json` to produce BENCH_directload.json.
+// ignored. Used by `make bench-json` to produce BENCH_directload.json
+// from the engine, remote-publish and fleet (quorum-write / hedged-read)
+// benchmark suites; custom ReportMetric units like puts/s and gets/s
+// ride along in `extra`.
 package main
 
 import (

@@ -11,11 +11,14 @@
 //	qindbctl -addr 127.0.0.1:7707 ping
 //	qindbctl -http 127.0.0.1:8080 trace <trace-id>              # one trace's timeline
 //	qindbctl -http 127.0.0.1:8080 slowlog [-n 20]               # recent slow operations
+//	qindbctl fleet -nodes 'a,b,c' <put|get|drop|load|where|status>  # shard router over several nodes
 //
 // -timeout bounds each operation (and the dial); load streams stdin
 // into OpBatch frames, one round trip per batch instead of per record.
 // trace and slowlog talk to the daemon's operator HTTP address (qindbd
-// -metrics-addr) instead of the storage port.
+// -metrics-addr) instead of the storage port. fleet ignores -addr and
+// routes to its -nodes with rendezvous placement, quorum writes and
+// hedged reads (see internal/fleet).
 package main
 
 import (
@@ -43,11 +46,12 @@ var (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] [-timeout 5s] <put|putd|get|del|drop|range|load|stats|metrics|ping|trace|slowlog> [args]")
+	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] [-timeout 5s] <put|putd|get|del|drop|range|load|stats|metrics|ping|trace|slowlog|fleet> [args]")
 	fmt.Fprintln(os.Stderr, "       load <version>                  batched load of key<TAB>value lines from stdin")
 	fmt.Fprintln(os.Stderr, "       stats [-watch] [-interval 1s]   engine stats, or live metric deltas")
 	fmt.Fprintln(os.Stderr, "       trace <trace-id>                render one trace's timeline (-http address)")
 	fmt.Fprintln(os.Stderr, "       slowlog [-n N]                  recent slow operations (-http address)")
+	fmt.Fprintln(os.Stderr, "       fleet -nodes 'a,b,c' <cmd>      shard router over several nodes (fleet -h)")
 	os.Exit(2)
 }
 
@@ -104,6 +108,10 @@ func main() {
 		n := fs.Int("n", 0, "show only the newest N entries (0 = all retained)")
 		fs.Parse(args)
 		fetchHTTP(fmt.Sprintf("/debug/slowlog?n=%d", *n))
+		return
+	case "fleet":
+		// The router dials its own nodes; -addr is not involved.
+		runFleet(args)
 		return
 	}
 

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"directload/internal/bifrost"
+	"directload/internal/fleet"
 	"directload/internal/metrics"
 	"directload/internal/mint"
 	"directload/internal/netsim"
@@ -109,6 +110,7 @@ type DirectLoad struct {
 
 	versions []uint64 // published versions in order
 	mirror   *Mirror
+	fleet    *fleet.Fleet
 	reg      *metrics.Registry
 	met      orchestratorMetrics
 }
@@ -122,6 +124,29 @@ func (d *DirectLoad) AttachMirror(m *Mirror) {
 	if m != nil && m.reg == nil && d.reg != nil {
 		m.SetMetrics(d.reg)
 	}
+}
+
+// AttachFleet routes every published version through the fleet's
+// sharded quorum writes as well, and retention drops versions there.
+// Unlike the mirror (every node gets every entry), the fleet places
+// each key on its rendezvous-chosen replica set, so the remote
+// deployment scales past one node's capacity. Pass nil to detach; the
+// caller keeps ownership of the fleet and closes it after shutdown.
+func (d *DirectLoad) AttachFleet(f *fleet.Fleet) {
+	d.fleet = f
+}
+
+// FleetGet serves a read from the attached fleet's hedged parallel-read
+// path against the newest retained version — the networked counterpart
+// of Get against a simulated DC.
+func (d *DirectLoad) FleetGet(ctx context.Context, key []byte) ([]byte, error) {
+	if d.fleet == nil {
+		return nil, errors.New("cluster: no fleet attached")
+	}
+	if len(d.versions) == 0 {
+		return nil, fmt.Errorf("%w: nothing published", ErrVersionMissing)
+	}
+	return d.fleet.Get(ctx, key, d.versions[len(d.versions)-1])
 }
 
 // orchestratorMetrics holds the cluster-level registry handles; all nil
@@ -384,6 +409,18 @@ func (d *DirectLoad) PublishVersionContext(ctx context.Context, version uint64, 
 			return rep, err
 		}
 	}
+	// Fleet path: quorum-write the version onto its sharded replica
+	// sets. A quorum publish tolerates minority replica outages, so this
+	// can succeed where the all-nodes mirror would fail.
+	if d.fleet != nil {
+		fe := make([]fleet.Entry, len(entries))
+		for i, e := range entries {
+			fe[i] = fleet.Entry{Key: e.Key, Value: e.Value}
+		}
+		if err := d.fleet.PublishVersion(ctx, version, fe); err != nil {
+			return rep, fmt.Errorf("cluster: fleet publish v%d: %w", version, err)
+		}
+	}
 	d.versions = append(d.versions, version)
 	rep.UpdateTime = d.Top.Net.Now() - start
 	rep.Dedup = d.Deduper.AdvanceVersion()
@@ -400,6 +437,11 @@ func (d *DirectLoad) PublishVersionContext(ctx context.Context, version uint64, 
 		if d.mirror != nil {
 			if err := d.mirror.DropVersion(context.Background(), old); err != nil {
 				return rep, err
+			}
+		}
+		if d.fleet != nil {
+			if err := d.fleet.DropVersion(context.Background(), old); err != nil {
+				return rep, fmt.Errorf("cluster: fleet drop v%d: %w", old, err)
 			}
 		}
 		for _, dc := range d.DCs {

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"directload/internal/aof"
+	"directload/internal/bifrost"
+	"directload/internal/blockfs"
+	"directload/internal/core"
+	"directload/internal/fleet"
+	"directload/internal/server"
+	"directload/internal/ssd"
+)
+
+// startStoppableNode is startNode with the server exposed, for tests
+// that take nodes down mid-run.
+func startStoppableNode(t *testing.T) (string, *server.Server, *core.DB) {
+	t.Helper()
+	dev, err := ssd.NewDevice(ssd.DefaultConfig(256 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(blockfs.NewNativeFS(dev), core.Options{
+		AOF: aof.Config{FileSize: 4 << 20, GCThreshold: 0.25}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := server.New(db)
+	s.SetLogf(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	for s.Addr() == nil {
+	}
+	t.Cleanup(func() {
+		s.Close()
+		db.Close()
+	})
+	return ln.Addr().String(), s, db
+}
+
+// TestMirrorPublishMultiError: with two of two mirror nodes down, the
+// publish error must name both, not just the first to fail.
+func TestMirrorPublishMultiError(t *testing.T) {
+	addr1, s1, _ := startStoppableNode(t)
+	addr2, s2, _ := startStoppableNode(t)
+	m, err := NewMirror([]string{addr1, addr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	s1.Close()
+	s2.Close()
+	err = m.PublishVersion(context.Background(), 1, []Entry{
+		{Key: []byte("k"), Value: []byte("v")},
+	})
+	if err == nil {
+		t.Fatal("publish with every node down should fail")
+	}
+	if msg := err.Error(); !strings.Contains(msg, addr1) || !strings.Contains(msg, addr2) {
+		t.Fatalf("multi-error does not name both nodes: %v", msg)
+	}
+	if err := m.DropVersion(context.Background(), 1); err == nil {
+		t.Fatal("drop with every node down should fail")
+	} else if msg := err.Error(); !strings.Contains(msg, addr1) || !strings.Contains(msg, addr2) {
+		t.Fatalf("drop multi-error does not name both nodes: %v", msg)
+	}
+}
+
+// TestFleetAttachPublishGet runs the orchestrator with an attached
+// fleet: every published version quorum-writes onto the sharded nodes,
+// FleetGet serves the newest version via hedged reads, and retention
+// drops retired versions fleet-side.
+func TestFleetAttachPublishGet(t *testing.T) {
+	addr1, _, db1 := startStoppableNode(t)
+	addr2, _, _ := startStoppableNode(t)
+	addr3, _, _ := startStoppableNode(t)
+
+	cfg := DefaultConfig()
+	cfg.RetainVersions = 2
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	f, err := fleet.New(fleet.Config{
+		Groups:        [][]string{{addr1, addr2, addr3}},
+		Replicas:      3,
+		WriteQuorum:   2,
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d.AttachFleet(f)
+
+	entries := func(version int) []Entry {
+		out := make([]Entry, 0, 40)
+		for i := 0; i < 40; i++ {
+			out = append(out, Entry{
+				Key:    []byte(fmt.Sprintf("fk-%03d", i)),
+				Value:  []byte(fmt.Sprintf("val-%d-%03d", version, i)),
+				Stream: bifrost.StreamInverted,
+			})
+		}
+		return out
+	}
+	ctx := context.Background()
+	if _, err := d.FleetGet(ctx, []byte("fk-000")); err == nil {
+		t.Fatal("FleetGet before any publish should fail")
+	}
+	for v := 1; v <= 3; v++ {
+		if _, err := d.PublishVersion(uint64(v), entries(v)); err != nil {
+			t.Fatalf("publish v%d: %v", v, err)
+		}
+	}
+
+	// FleetGet reads the newest version through the router.
+	val, err := d.FleetGet(ctx, []byte("fk-011"))
+	if err != nil || string(val) != "val-3-011" {
+		t.Fatalf("FleetGet = %q, %v", val, err)
+	}
+	// With R = group size, every node holds the records.
+	if !db1.Has([]byte("fk-000"), 3) {
+		t.Fatal("fleet node missing v3 record")
+	}
+	// Retention (cap 2) dropped v1 on the fleet too.
+	if _, err := f.Get(ctx, []byte("fk-000"), 1); !errors.Is(err, core.ErrDeleted) {
+		t.Fatalf("v1 should be retired fleet-side, got %v", err)
+	}
+}
+
+// TestFleetGetDetached covers the no-fleet error path.
+func TestFleetGetDetached(t *testing.T) {
+	d, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.FleetGet(context.Background(), []byte("k")); err == nil {
+		t.Fatal("FleetGet without a fleet should fail")
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -101,11 +102,18 @@ func (m *Mirror) PublishVersion(ctx context.Context, version uint64, entries []E
 	wg.Wait()
 	m.met.versions.Inc()
 	m.met.ops.Add(int64(len(entries) * len(m.clients)))
+	// Aggregate every failed node, not just the first: an operator
+	// debugging a partial outage needs the full blast radius in one
+	// error, and errors.Is still matches each underlying cause.
+	var nodeErrs []error
 	for i, e := range errs {
 		if e != nil {
 			m.met.errors.Inc()
-			return fmt.Errorf("cluster: mirroring v%d to %s: %w", version, m.addrs[i], e)
+			nodeErrs = append(nodeErrs, fmt.Errorf("node %s: %w", m.addrs[i], e))
 		}
+	}
+	if len(nodeErrs) > 0 {
+		return fmt.Errorf("cluster: mirroring v%d: %w", version, errors.Join(nodeErrs...))
 	}
 	return nil
 }
@@ -123,11 +131,15 @@ func (m *Mirror) DropVersion(ctx context.Context, version uint64) error {
 		}(i, cl)
 	}
 	wg.Wait()
+	var nodeErrs []error
 	for i, e := range errs {
 		if e != nil {
 			m.met.errors.Inc()
-			return fmt.Errorf("cluster: dropping v%d on %s: %w", version, m.addrs[i], e)
+			nodeErrs = append(nodeErrs, fmt.Errorf("node %s: %w", m.addrs[i], e))
 		}
+	}
+	if len(nodeErrs) > 0 {
+		return fmt.Errorf("cluster: dropping v%d: %w", version, errors.Join(nodeErrs...))
 	}
 	return nil
 }

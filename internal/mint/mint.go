@@ -17,7 +17,6 @@ package mint
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"time"
 
@@ -96,6 +95,7 @@ type Group struct {
 // Cluster is a Mint deployment in one data center.
 type Cluster struct {
 	cfg    Config
+	place  Placement
 	groups []*Group
 	byID   map[string]*Node
 	nextID int
@@ -161,7 +161,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Factory == nil {
 		cfg.Factory = QinDBFactory(cfg.Engine)
 	}
-	c := &Cluster{cfg: cfg, byID: make(map[string]*Node)}
+	c := &Cluster{cfg: cfg, place: Placement{Replicas: cfg.Replicas}, byID: make(map[string]*Node)}
 	c.met = newClusterMetrics(cfg.Metrics, cfg.Groups)
 	for g := 0; g < cfg.Groups; g++ {
 		group := &Group{ID: g}
@@ -215,44 +215,37 @@ func (c *Cluster) RemoveNode(id string) error {
 	return nil
 }
 
-// hashKey maps a key to its group (paper: "the H(k) is mapped to a
-// group").
-func (c *Cluster) hashKey(key []byte) int {
-	h := fnv.New32a()
-	h.Write(key)
-	return int(h.Sum32() % uint32(len(c.groups)))
-}
-
-// GroupFor returns the group a key belongs to.
+// GroupFor returns the group a key belongs to (paper: "the H(k) is
+// mapped to a group"); the math lives in Placement, shared with the
+// networked fleet router.
 func (c *Cluster) GroupFor(key []byte) *Group {
-	return c.groups[c.hashKey(key)]
+	return c.groups[c.place.Group(key, len(c.groups))]
 }
 
 // replicasFor selects cfg.Replicas nodes of the key's group by rendezvous
 // (highest-random-weight) hashing: stable under node additions, and every
 // node knows the answer without coordination.
 func (c *Cluster) replicasFor(key []byte, g *Group) []*Node {
-	type scored struct {
-		n *Node
-		w uint64
+	ids := make([]string, len(g.Nodes))
+	for i, n := range g.Nodes {
+		ids[i] = n.ID
 	}
-	ss := make([]scored, 0, len(g.Nodes))
-	for _, n := range g.Nodes {
-		h := fnv.New64a()
-		h.Write(key)
-		h.Write([]byte(n.ID))
-		ss = append(ss, scored{n, h.Sum64()})
-	}
-	sort.Slice(ss, func(i, j int) bool { return ss[i].w > ss[j].w })
-	k := c.cfg.Replicas
-	if k > len(ss) {
-		k = len(ss)
-	}
-	out := make([]*Node, k)
-	for i := 0; i < k; i++ {
-		out[i] = ss[i].n
+	out := make([]*Node, 0, c.cfg.Replicas)
+	for _, id := range c.place.ReplicasFor(key, ids) {
+		out = append(out, c.byID[id])
 	}
 	return out
+}
+
+// ReplicaIDs returns the IDs of the key's replica set in placement
+// order (primary first) — the answer fleet routers must agree with.
+func (c *Cluster) ReplicaIDs(key []byte) []string {
+	g := c.GroupFor(key)
+	ids := make([]string, len(g.Nodes))
+	for i, n := range g.Nodes {
+		ids[i] = n.ID
+	}
+	return c.place.ReplicasFor(key, ids)
 }
 
 // Put writes (key, version, value) to the key's replica set. It succeeds

@@ -74,7 +74,7 @@ func TestReplication3x(t *testing.T) {
 		for _, n := range g.Nodes {
 			if n.db.Has(key, 1) {
 				holders++
-				if g.ID != c.hashKey(key) {
+				if g.ID != c.place.Group(key, len(c.groups)) {
 					t.Fatal("replica outside the key's group")
 				}
 			}
@@ -88,7 +88,7 @@ func TestReplication3x(t *testing.T) {
 func TestGroupPlacementStable(t *testing.T) {
 	c := newTestCluster(t)
 	key := []byte("stable-key")
-	before := c.hashKey(key)
+	before := c.place.Group(key, len(c.groups))
 	// Adding nodes to any group must not change group placement.
 	if _, err := c.AddNode(0); err != nil {
 		t.Fatal(err)
@@ -96,7 +96,7 @@ func TestGroupPlacementStable(t *testing.T) {
 	if _, err := c.AddNode(2); err != nil {
 		t.Fatal(err)
 	}
-	if c.hashKey(key) != before {
+	if c.place.Group(key, len(c.groups)) != before {
 		t.Fatal("group placement changed after adding nodes")
 	}
 }

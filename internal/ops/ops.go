@@ -9,6 +9,8 @@
 //	                     one trace's timeline; ?format=json
 //	/debug/slowlog       slow operations, oldest first; ?n=<count>,
 //	                     ?format=json
+//	/fleet               fleet router snapshot (placement, breakers,
+//	                     handoff depths); ?format=json
 //	/healthz             200 while the process is up
 //	/readyz              200 when Ready() returns nil, 503 otherwise
 //	/debug/pprof/*       net/http/pprof, only when EnablePprof is set
@@ -24,6 +26,7 @@ import (
 	"strconv"
 	"sync"
 
+	"directload/internal/fleet"
 	"directload/internal/metrics"
 )
 
@@ -38,6 +41,10 @@ type Config struct {
 	// Ready, when set, backs /readyz: nil means ready, an error is
 	// reported with a 503. When unset /readyz behaves like /healthz.
 	Ready func() error
+	// Fleet, when set, backs /fleet with a live router snapshot — a
+	// func so the handler always serves current breaker states and
+	// handoff depths, not a boot-time copy. Unset returns 404.
+	Fleet func() fleet.Status
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints can stall a loaded process and
 	// should be an explicit operator decision.
@@ -122,6 +129,32 @@ func NewMux(cfg Config) *http.ServeMux {
 			return
 		}
 		cfg.SlowLog.WriteTo(w)
+	})
+	mux.HandleFunc("/fleet", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Fleet == nil {
+			http.Error(w, "no fleet attached", http.StatusNotFound)
+			return
+		}
+		st := cfg.Fleet()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(st)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "fleet: %d group(s), R=%d W=%d, hedge after %dus\n",
+			st.Groups, st.Replicas, st.WriteQuorum, st.HedgeDelayUs)
+		for _, n := range st.Nodes {
+			fmt.Fprintf(w, "g%d %-24s breaker=%-9s fails=%d handoff=%d",
+				n.Group, n.ID, n.Breaker, n.ConsecutiveFails, n.HandoffDepth)
+			if n.HandoffDropped > 0 {
+				fmt.Fprintf(w, " dropped=%d", n.HandoffDropped)
+			}
+			if n.LastError != "" {
+				fmt.Fprintf(w, " last_err=%q", n.LastError)
+			}
+			fmt.Fprintln(w)
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
