@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-json check clean
+.PHONY: build test race vet lint bench bench-json fuzz-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific analyzers (internal/analysis) run through the go
+# command's vettool protocol, so package loading, export data and
+# result caching all come from `go vet`. See DESIGN.md, "Static
+# analysis". Suppress a finding with:
+#   //lint:ignore <analyzer> reason
+lint:
+	$(GO) build -o bin/directload-vet ./cmd/directload-vet
+	$(GO) vet -vettool=bin/directload-vet ./...
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 100x ./...
 
@@ -24,17 +33,28 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkRemotePublish' -benchmem -benchtime 20x ./internal/server/ > .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkFleet' -benchmem -benchtime 20x ./internal/fleet/ >> .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkPut20KB$$|BenchmarkGet20KB|BenchmarkGetDedup|BenchmarkDel|BenchmarkRecovery|BenchmarkPut20KBInstrumented' -benchmem -benchtime 50x ./internal/core/ >> .bench.out
+	$(GO) test -run xxx -bench 'BenchmarkAOFAppendAligned' -benchmem -benchtime 200x ./internal/aof/ >> .bench.out
 	$(GO) run ./cmd/benchjson < .bench.out > BENCH_directload.json
 	rm -f .bench.out
 	@echo wrote BENCH_directload.json
 
-# Full pre-merge gate: compile, vet, unit tests, then the race detector
-# over the concurrency-heavy network, cluster and fleet packages.
+# Short fuzz pass over every wire-protocol and AOF decoder target. The
+# go tool accepts one -fuzz pattern per invocation, hence one line per
+# target.
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz '^FuzzFrameV1$$' -fuzztime 10s ./internal/server/
+	$(GO) test -run xxx -fuzz '^FuzzRequest$$' -fuzztime 10s ./internal/server/
+	$(GO) test -run xxx -fuzz '^FuzzFrameV2$$' -fuzztime 10s ./internal/server/
+	$(GO) test -run xxx -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/aof/
+
+# Full pre-merge gate: compile, standard vet, the repo's own analyzer
+# suite, unit tests, then the race detector over every package.
 # benchjson is built (not run) as a smoke test so bench-json can't rot
 # unnoticed.
-check: build vet test
-	$(GO) test -race ./internal/server/... ./internal/cluster/... ./internal/fleet/...
+check: build vet lint test
+	$(GO) test -race ./...
 	$(GO) build -o /dev/null ./cmd/benchjson
 
 clean:
 	$(GO) clean ./...
+	rm -rf bin

@@ -203,6 +203,7 @@ func main() {
 			}
 		}
 		// Crash: drop the memtable, reopen from flash.
+		//lint:ignore errflow a simulated crash abandons the engine mid-flight; teardown errors are the point of the test, not a bug
 		db.Close()
 		db, err = core.Open(fs, opts)
 		if err != nil {
@@ -218,7 +219,9 @@ func main() {
 				float64(st.Store.DiskBytes)/(1<<20))
 		}
 	}
-	db.Close()
+	if err := db.Close(); err != nil {
+		log.Fatalf("final close: %v", err)
+	}
 	fmt.Printf("crashtest: %d rounds x %d ops verified, %d keys x %d versions, seed %d\n",
 		*rounds, *ops, *keys, *versions, *seed)
 	os.Exit(0)

@@ -1,0 +1,266 @@
+// Package blockalign protects the paper's core SSD claim: QinDB's
+// write amplification (~2.5x, §3/§5) holds only while every byte
+// reaching flash goes down block-aligned. The device interface
+// programs whole pages and erases whole blocks; a buffer of the wrong
+// size slips through at runtime (the device pads silently) but breaks
+// the zero-hardware-WA accounting.
+//
+// The analyzer checks two things (test files are exempt):
+//
+//  1. Page-granular device writes — (*ssd.Device).ProgramPage and
+//     (*ssd.FTL).Write — must pass a buffer whose size is *provably*
+//     page-aligned: a slice bounded by a page-size identifier
+//     (pageSize, PageSize, BlockSize()...), make() with such a size, a
+//     local whose single definition is such an expression, or a call
+//     to an align/pad helper. Anything else is flagged.
+//  2. aof.Config literals must set FileSize to a multiple of the
+//     erase-block size (256 KiB with the paper's geometry), so AOF
+//     rotation stays block-aligned end to end.
+package blockalign
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"directload/internal/analysis"
+)
+
+// Analyzer is the blockalign check.
+var Analyzer = &analysis.Analyzer{
+	Name: "blockalign",
+	Doc:  "device page writes and AOF geometry must be provably block-aligned",
+	Run:  run,
+}
+
+// eraseBlockSize is the erase-block size of the paper's device
+// geometry (4 KiB pages x 64 pages); used only to vet integer
+// literals, which should be spelled via the geometry anyway.
+const eraseBlockSize = 4096 * 64
+
+// sinks maps device write methods to the index of their data
+// argument.
+var sinks = []struct {
+	pkg, typ, method string
+	argIndex         int
+}{
+	{"ssd", "Device", "ProgramPage", 3},
+	{"ssd", "FTL", "Write", 1},
+}
+
+// alignedName matches identifiers that carry page/block-size meaning.
+var alignedName = regexp.MustCompile(`(?i)^(page|block)size$|^(align|pad)`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if analysis.IsTestFile(pass, n) {
+					return true
+				}
+				checkSink(pass, n)
+			case *ast.CompositeLit:
+				if analysis.IsTestFile(pass, n) {
+					return true
+				}
+				checkAOFConfig(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSink(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, s := range sinks {
+		if !analysis.IsMethodCall(pass.TypesInfo, call, s.pkg, s.typ, s.method) {
+			continue
+		}
+		if len(call.Args) <= s.argIndex {
+			return
+		}
+		arg := call.Args[s.argIndex]
+		if !alignedExpr(pass, arg, enclosingFunc(pass, call)) {
+			pass.Reportf(arg.Pos(),
+				"buffer reaching %s.%s is not provably page-aligned; size it from the page-size constant (e.g. buf[:pageSize] or make([]byte, pageSize))",
+				s.typ, s.method)
+		}
+		return
+	}
+}
+
+// checkAOFConfig vets FileSize fields in aof.Config literals.
+func checkAOFConfig(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || !analysis.IsNamed(tv.Type, "aof", "Config") {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "FileSize" {
+			continue
+		}
+		vt, ok := pass.TypesInfo.Types[kv.Value]
+		if !ok || vt.Value == nil {
+			continue // non-constant sizes are the caller's problem
+		}
+		if v, exact := constant.Int64Val(vt.Value); exact && v%eraseBlockSize != 0 {
+			pass.Reportf(kv.Value.Pos(),
+				"aof.Config.FileSize %d is not a multiple of the %d-byte erase block; rotation would leave a torn block", v, eraseBlockSize)
+		}
+	}
+}
+
+// enclosingFunc finds the innermost function body containing n, used
+// to resolve single-assignment locals.
+func enclosingFunc(pass *analysis.Pass, n ast.Node) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	for _, f := range pass.Files {
+		if n.Pos() < f.Pos() || n.Pos() > f.End() {
+			continue
+		}
+		ast.Inspect(f, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncDecl:
+				if m.Body != nil && m.Body.Pos() <= n.Pos() && n.Pos() <= m.Body.End() {
+					body = m.Body
+				}
+			case *ast.FuncLit:
+				if m.Body.Pos() <= n.Pos() && n.Pos() <= m.Body.End() {
+					body = m.Body
+				}
+			}
+			return true
+		})
+	}
+	return body
+}
+
+// alignedExpr reports whether e is provably a whole number of pages.
+func alignedExpr(pass *analysis.Pass, e ast.Expr, scope *ast.BlockStmt) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		lowOK := e.Low == nil || isZero(pass, e.Low) || alignedSize(pass, e.Low, scope)
+		return lowOK && e.High != nil && alignedSize(pass, e.High, scope)
+	case *ast.CallExpr:
+		if isBuiltin(pass, e, "make") && len(e.Args) >= 2 {
+			return alignedSize(pass, e.Args[1], scope)
+		}
+		return alignedCallee(pass, e)
+	case *ast.Ident:
+		if def := singleDefinition(pass, e, scope); def != nil {
+			return alignedExpr(pass, def, scope)
+		}
+	}
+	return false
+}
+
+// alignedSize reports whether a size expression is provably a
+// multiple of the page size.
+func alignedSize(pass *analysis.Pass, e ast.Expr, scope *ast.BlockStmt) bool {
+	e = ast.Unparen(e)
+	// Constant: accept zero and literal multiples of the geometry.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			return v%4096 == 0
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if alignedName.MatchString(e.Name) {
+			return true
+		}
+		if def := singleDefinition(pass, e, scope); def != nil {
+			return alignedSize(pass, def, scope)
+		}
+	case *ast.SelectorExpr:
+		return alignedName.MatchString(e.Sel.Name)
+	case *ast.CallExpr:
+		if isBuiltin(pass, e, "len") && len(e.Args) == 1 {
+			return alignedExpr(pass, e.Args[0], scope) || alignedSize(pass, e.Args[0], scope)
+		}
+		return alignedCallee(pass, e)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL:
+			return alignedSize(pass, e.X, scope) || alignedSize(pass, e.Y, scope)
+		case token.ADD, token.SUB:
+			return alignedSize(pass, e.X, scope) && alignedSize(pass, e.Y, scope)
+		}
+	case *ast.CompositeLit, *ast.StarExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.UnaryExpr, *ast.BasicLit, *ast.FuncLit, *ast.TypeAssertExpr:
+	}
+	return false
+}
+
+// alignedCallee accepts calls whose callee name signals alignment
+// (BlockSize(), alignUp(...), padToPage(...)).
+func alignedCallee(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil {
+		return false
+	}
+	name := f.Name()
+	return alignedName.MatchString(name) || strings.Contains(strings.ToLower(name), "align")
+}
+
+func isBuiltin(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isB := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isB
+}
+
+func isZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(tv.Value)
+	return exact && v == 0
+}
+
+// singleDefinition returns the unique expression assigned to the
+// identifier's object within scope, or nil when the local is assigned
+// more than once (or never, e.g. parameters).
+func singleDefinition(pass *analysis.Pass, id *ast.Ident, scope *ast.BlockStmt) ast.Expr {
+	if scope == nil {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	var def ast.Expr
+	count := 0
+	ast.Inspect(scope, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[lid] == obj || pass.TypesInfo.Uses[lid] == obj {
+				count++
+				def = as.Rhs[i]
+			}
+		}
+		return true
+	})
+	if count == 1 {
+		return def
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package blockalign_test
+
+import (
+	"testing"
+
+	"directload/internal/analysis/analysistest"
+	"directload/internal/analysis/blockalign"
+)
+
+func TestBlockAlign(t *testing.T) {
+	analysistest.Run(t, "testdata", blockalign.Analyzer, "store")
+}

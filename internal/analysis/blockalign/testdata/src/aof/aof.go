@@ -1,0 +1,7 @@
+// Package aof is a fixture for the AOF geometry rule.
+package aof
+
+type Config struct {
+	FileSize int64
+	Fsync    bool
+}

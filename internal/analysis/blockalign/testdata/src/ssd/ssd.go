@@ -1,0 +1,23 @@
+// Package ssd is a fixture standing in for the flash device simulator:
+// the two page-granular write sinks the analyzer guards.
+package ssd
+
+type Owner int
+
+const OwnerNative Owner = 0
+
+type Device struct {
+	PageSize int
+}
+
+func (d *Device) ProgramPage(owner Owner, blockID, pageIdx int, data []byte) error {
+	_ = data
+	return nil
+}
+
+type FTL struct{}
+
+func (f *FTL) Write(lpn int, data []byte) error {
+	_ = data
+	return nil
+}

@@ -1,0 +1,74 @@
+// Package store is a fixture driving buffers into the device sinks,
+// some provably page-aligned and some not.
+package store
+
+import (
+	"aof"
+	"ssd"
+)
+
+const pageSize = 4096
+
+// alignUp is an alignment helper the analyzer recognizes by name.
+func alignUp(b []byte) []byte { return b }
+
+func okSlice(d *ssd.Device, buf []byte) {
+	d.ProgramPage(ssd.OwnerNative, 0, 0, buf[:pageSize])
+}
+
+func okSliceField(d *ssd.Device, buf []byte) {
+	d.ProgramPage(ssd.OwnerNative, 0, 0, buf[:d.PageSize])
+}
+
+func okMakeInline(d *ssd.Device) {
+	d.ProgramPage(ssd.OwnerNative, 0, 0, make([]byte, pageSize))
+}
+
+func okMakeLocal(d *ssd.Device) {
+	buf := make([]byte, 2*pageSize)
+	d.ProgramPage(ssd.OwnerNative, 0, 0, buf)
+}
+
+func okConstSlice(d *ssd.Device, buf []byte) {
+	page := buf[:4096]
+	d.ProgramPage(ssd.OwnerNative, 0, 0, page)
+}
+
+func okHelper(f *ssd.FTL, buf []byte) {
+	f.Write(0, alignUp(buf))
+}
+
+func badRaw(d *ssd.Device, buf []byte) {
+	d.ProgramPage(ssd.OwnerNative, 0, 0, buf) // want `buffer reaching Device.ProgramPage is not provably page-aligned`
+}
+
+func badPartial(d *ssd.Device, buf []byte, n int) {
+	d.ProgramPage(ssd.OwnerNative, 0, 0, buf[:n]) // want `buffer reaching Device.ProgramPage is not provably page-aligned`
+}
+
+func badReassigned(d *ssd.Device, tail []byte) {
+	buf := make([]byte, pageSize)
+	buf = tail
+	d.ProgramPage(ssd.OwnerNative, 0, 0, buf) // want `buffer reaching Device.ProgramPage is not provably page-aligned`
+}
+
+func badFTL(f *ssd.FTL, data []byte) {
+	f.Write(0, data) // want `buffer reaching FTL.Write is not provably page-aligned`
+}
+
+func okConfig() aof.Config {
+	return aof.Config{FileSize: 64 << 20, Fsync: true}
+}
+
+func okConfigVar(sz int64) aof.Config {
+	// Non-constant sizes are the caller's responsibility.
+	return aof.Config{FileSize: sz}
+}
+
+func badConfig() aof.Config {
+	return aof.Config{FileSize: 4096} // want `aof.Config.FileSize 4096 is not a multiple of the 262144-byte erase block`
+}
+
+func badConfigExpr() aof.Config {
+	return aof.Config{FileSize: 3 << 16} // want `aof.Config.FileSize 196608 is not a multiple of the 262144-byte erase block`
+}

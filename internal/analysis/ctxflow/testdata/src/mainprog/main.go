@@ -1,0 +1,15 @@
+// Command mainprog is a fixture proving binaries are exempt: a main
+// package legitimately mints root contexts wherever it likes.
+package main
+
+import "context"
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+func run(ctx context.Context) error {
+	return work(context.Background())
+}
+
+func main() {
+	_ = run(context.TODO())
+}

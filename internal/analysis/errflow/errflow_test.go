@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"directload/internal/analysis/analysistest"
+	"directload/internal/analysis/errflow"
+)
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", errflow.Analyzer, "store")
+}

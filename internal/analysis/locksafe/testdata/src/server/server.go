@@ -1,0 +1,174 @@
+// Package server is a fixture for the network path's locking rules: no
+// blocking operations under a mutex, and every exit path must release
+// what it locked.
+package server
+
+import (
+	"bufio"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	bw *bufio.Writer
+	ch chan int
+	n  int
+}
+
+// Good: deferred unlock, nothing blocking under the lock.
+func (s *S) Good() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// GoodManual releases by hand on the only path out.
+func (s *S) GoodManual() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// BadSend performs a channel send while holding the lock.
+func (s *S) BadSend() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send while holding s.mu`
+}
+
+// BadRecv blocks on a channel receive under the lock.
+func (s *S) BadRecv() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := <-s.ch // want `channel receive while holding s.mu`
+	return v
+}
+
+// BadSleep sleeps while holding the lock.
+func (s *S) BadSleep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu`
+}
+
+// BadWait parks on a WaitGroup under the lock.
+func (s *S) BadWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want `sync.WaitGroup.Wait while holding s.mu`
+}
+
+// BadFlush does buffered I/O under the lock.
+func (s *S) BadFlush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush() // want `bufio.Writer.Flush \(buffered I/O\) while holding s.mu`
+}
+
+// BadSelect has no default case, so it parks under the lock.
+func (s *S) BadSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select \(no default\) while holding s.mu`
+	case v := <-s.ch:
+		_ = v
+	}
+}
+
+// GoodSelect cannot park: the default case makes it a poll.
+func (s *S) GoodSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+// GoodAfterUnlock blocks only once the lock is gone.
+func (s *S) GoodAfterUnlock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- s.n
+}
+
+// BadReturn leaks the lock on the early path.
+func (s *S) BadReturn(b bool) int {
+	s.mu.Lock()
+	if b {
+		return 1 // want `return with s.mu still locked \(no deferred unlock on this path\)`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// BadForget never releases at all.
+func (s *S) BadForget() {
+	s.mu.Lock()
+	s.n++
+} // want `function can return with s.mu still locked \(no deferred unlock\)`
+
+// GoodBranches releases on both sides of the branch.
+func (s *S) GoodBranches(b bool) int {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// TwoLocks lists every mutex held at the blocking point.
+func (s *S) TwoLocks(t *S) {
+	s.mu.Lock()
+	t.mu.Lock()
+	s.ch <- 1 // want `channel send while holding s.mu, t.mu`
+	t.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// GoodLit: a literal assigned under the lock runs later, on its own
+// goroutine or at defer time, so its body is not "under" this lock.
+func (s *S) GoodLit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := func() {
+		time.Sleep(time.Millisecond)
+	}
+	_ = f
+}
+
+// LitChecked: function literals are analyzed with their own fresh lock
+// state.
+func (s *S) LitChecked() {
+	go func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		<-s.ch // want `channel receive while holding s.mu`
+	}()
+}
+
+type R struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Get shows RLock/RUnlock pairing is tracked like Lock/Unlock.
+func (r *R) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// BadRead blocks while holding the read lock.
+func (r *R) BadRead(ch chan int) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return <-ch // want `channel receive while holding r.mu`
+}

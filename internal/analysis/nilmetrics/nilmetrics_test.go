@@ -1,0 +1,12 @@
+package nilmetrics_test
+
+import (
+	"testing"
+
+	"directload/internal/analysis/analysistest"
+	"directload/internal/analysis/nilmetrics"
+)
+
+func TestNilMetrics(t *testing.T) {
+	analysistest.Run(t, "testdata", nilmetrics.Analyzer, "metrics", "consumer")
+}

@@ -71,7 +71,7 @@ func (fs *NativeFS) flushTail(f *file) (time.Duration, error) {
 // blocks belong to this file, so the erase reclaims them wholesale.
 func (fs *NativeFS) releaseFile(f *file) (time.Duration, error) {
 	var total time.Duration
-	var firstErr error
+	var errs []error
 	seen := int32(-1)
 	for _, ref := range f.pages {
 		blockID := ref / int32(fs.ppb)
@@ -81,13 +81,13 @@ func (fs *NativeFS) releaseFile(f *file) (time.Duration, error) {
 		seen = blockID
 		cost, err := fs.dev.EraseBlock(ssd.OwnerNative, int(blockID))
 		total += cost
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if err != nil {
+			errs = append(errs, err)
 		}
 	}
 	f.pages = nil
 	f.tail = nil
-	return total, firstErr
+	return total, errors.Join(errs...)
 }
 
 var _ FS = (*NativeFS)(nil)
@@ -166,16 +166,16 @@ func (fs *FTLFS) releaseFile(f *file) (time.Duration, error) {
 	// the real cost surfaces later as GC migration of co-located data.
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	var firstErr error
+	var errs []error
 	for _, ref := range f.pages {
-		if err := fs.ftl.Trim(int(ref)); err != nil && firstErr == nil {
-			firstErr = err
+		if err := fs.ftl.Trim(int(ref)); err != nil {
+			errs = append(errs, err)
 		}
 		fs.freeLPNs = append(fs.freeLPNs, int(ref))
 	}
 	f.pages = nil
 	f.tail = nil
-	return 0, firstErr
+	return 0, errors.Join(errs...)
 }
 
 var _ FS = (*FTLFS)(nil)

@@ -216,15 +216,15 @@ func New(cfg Config) (*DirectLoad, error) {
 	return d, nil
 }
 
-// Close shuts every data center down.
+// Close shuts every data center down and reports every failure.
 func (d *DirectLoad) Close() error {
-	var firstErr error
+	var errs []error
 	for _, dc := range d.DCs {
-		if err := dc.Store.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := dc.Store.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // Entry is one index record to publish.
@@ -435,12 +435,12 @@ func (d *DirectLoad) PublishVersionContext(ctx context.Context, version uint64, 
 		old := d.versions[0]
 		d.versions = d.versions[1:]
 		if d.mirror != nil {
-			if err := d.mirror.DropVersion(context.Background(), old); err != nil {
+			if err := d.mirror.DropVersion(ctx, old); err != nil {
 				return rep, err
 			}
 		}
 		if d.fleet != nil {
-			if err := d.fleet.DropVersion(context.Background(), old); err != nil {
+			if err := d.fleet.DropVersion(ctx, old); err != nil {
 				return rep, fmt.Errorf("cluster: fleet drop v%d: %w", old, err)
 			}
 		}

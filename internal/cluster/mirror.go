@@ -56,15 +56,15 @@ func (m *Mirror) SetMetrics(reg *metrics.Registry) {
 	}
 }
 
-// Close tears down every node client.
+// Close tears down every node client and reports every failure.
 func (m *Mirror) Close() error {
-	var firstErr error
+	var errs []error
 	for _, cl := range m.clients {
-		if err := cl.Close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := cl.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // Nodes returns the mirrored node addresses.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"sort"
@@ -103,8 +104,8 @@ func (db *DB) checkpointLocked() (cost time.Duration, err error) {
 		cost += c
 	}
 	if err != nil {
-		w.Close()
-		return cost, err
+		_, cerr := w.Close()
+		return cost, errors.Join(err, cerr)
 	}
 	c, err = w.Close()
 	cost += c

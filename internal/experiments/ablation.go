@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"time"
 
 	"directload/internal/aof"
@@ -266,8 +267,7 @@ func RunTracebackAblation(keys, valueSize, versions int, ratios []float64, seed 
 			Keys: keys, ValueSize: valueSize, DupRatio: ratio, Seed: seed,
 		})
 		if err != nil {
-			db.Close()
-			return out, err
+			return out, errors.Join(err, db.Close())
 		}
 		for v := 1; v <= versions; v++ {
 			err := gen.NextVersion(func(e workload.Entry) error {
@@ -275,16 +275,14 @@ func RunTracebackAblation(keys, valueSize, versions int, ratios []float64, seed 
 				return err
 			})
 			if err != nil {
-				db.Close()
-				return out, err
+				return out, errors.Join(err, db.Close())
 			}
 		}
 		hist := metrics.NewHistogram(0)
 		for i := 0; i < keys; i++ {
 			_, cost, err := db.Get(gen.Key(i), uint64(versions))
 			if err != nil {
-				db.Close()
-				return out, err
+				return out, errors.Join(err, db.Close())
 			}
 			hist.Observe(float64(cost.Microseconds()))
 		}
@@ -293,7 +291,9 @@ func RunTracebackAblation(keys, valueSize, versions int, ratios []float64, seed 
 			ReadMeanUs: hist.Mean(),
 			Tracebacks: db.Stats().Tracebacks,
 		})
-		db.Close()
+		if err := db.Close(); err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

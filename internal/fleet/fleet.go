@@ -265,18 +265,20 @@ func New(cfg Config) (*Fleet, error) {
 // Close stops the prober, waits for in-flight repairs, and tears down
 // every node client.
 func (f *Fleet) Close() error {
-	var firstErr error
+	var closeErr error
 	f.once.Do(func() {
 		f.closed.Store(true)
 		close(f.stop)
 		f.wg.Wait()
+		var errs []error
 		for _, n := range f.nodes {
-			if err := n.close(); err != nil && firstErr == nil {
-				firstErr = err
+			if err := n.close(); err != nil {
+				errs = append(errs, err)
 			}
 		}
+		closeErr = errors.Join(errs...)
 	})
-	return firstErr
+	return closeErr
 }
 
 // ReplicasFor returns the key's group index and its replica node IDs in

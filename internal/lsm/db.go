@@ -159,8 +159,11 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	if db.wal != nil {
-		db.wal.Close()
+		_, err := db.wal.Close()
 		db.wal = nil
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -330,7 +333,9 @@ func (db *DB) flushMemLocked() (time.Duration, error) {
 	db.memSize = 0
 	// Retire the old WAL; its contents are now durable in the table.
 	oldWAL := db.walNum
-	db.wal.Close()
+	if _, err := db.wal.Close(); err != nil {
+		return cost, err
+	}
 	if err := db.newWALLocked(); err != nil {
 		return cost, err
 	}
@@ -399,8 +404,8 @@ func (db *DB) writeManifestLocked() (time.Duration, error) {
 		cost += c
 	}
 	if err != nil {
-		w.Close()
-		return cost, err
+		_, cerr := w.Close()
+		return cost, errors.Join(err, cerr)
 	}
 	c, err := w.Close()
 	cost += c

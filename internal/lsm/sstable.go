@@ -266,8 +266,10 @@ func (tw *tableWriter) finish() (tableMeta, time.Duration, error) {
 }
 
 // abandon closes and removes a partially written table after an error.
+// The write already failed; its error wins, so teardown errors are
+// discarded deliberately.
 func (tw *tableWriter) abandon() {
-	tw.w.Close()
+	_, _ = tw.w.Close()
 	tw.fs.Remove(tableName(tw.meta.num))
 }
 

@@ -62,23 +62,24 @@ type promFamily struct {
 // may not repeat in an exposition). Safe on a nil registry (writes
 // nothing).
 func (r *Registry) WritePrometheus(w io.Writer) (int64, error) {
-	var fams []promFamily
-	if r != nil {
-		r.mu.RLock()
-		for k, v := range r.counters {
-			fams = append(fams, promFamily{orig: k, typ: "counter", c: v})
-		}
-		for k, v := range r.gauges {
-			fams = append(fams, promFamily{orig: k, typ: "gauge", g: v})
-		}
-		for k, v := range r.funcs {
-			fams = append(fams, promFamily{orig: k, typ: "gauge", fn: v})
-		}
-		for k, v := range r.hists {
-			fams = append(fams, promFamily{orig: k, typ: "summary", h: v})
-		}
-		r.mu.RUnlock()
+	if r == nil {
+		return 0, nil
 	}
+	var fams []promFamily
+	r.mu.RLock()
+	for k, v := range r.counters {
+		fams = append(fams, promFamily{orig: k, typ: "counter", c: v})
+	}
+	for k, v := range r.gauges {
+		fams = append(fams, promFamily{orig: k, typ: "gauge", g: v})
+	}
+	for k, v := range r.funcs {
+		fams = append(fams, promFamily{orig: k, typ: "gauge", fn: v})
+	}
+	for k, v := range r.hists {
+		fams = append(fams, promFamily{orig: k, typ: "summary", h: v})
+	}
+	r.mu.RUnlock()
 	for i := range fams {
 		fams[i].name = SanitizePromName(fams[i].orig)
 	}

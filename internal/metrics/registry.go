@@ -140,10 +140,10 @@ func (r *Registry) Span(name string) func(err error) {
 // structs. The whole map is JSON-marshalable, which is how OpMetrics and
 // the HTTP /metrics endpoint export it. Always non-nil.
 func (r *Registry) Snapshot() map[string]any {
-	out := make(map[string]any)
 	if r == nil {
-		return out
+		return make(map[string]any)
 	}
+	out := make(map[string]any)
 	r.mu.RLock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {

@@ -69,7 +69,9 @@ func QinDBFactory(opts core.Options) EngineFactory {
 		stack := &EngineStack{Device: dev, UsedBytes: fs.UsedBytes}
 		stack.Engine = db
 		stack.Reopen = func() (Engine, error) {
-			db.Close()
+			if err := db.Close(); err != nil {
+				return nil, err
+			}
 			ndb, err := core.Open(fs, opts)
 			if err != nil {
 				return nil, err
@@ -116,7 +118,9 @@ func LSMFactory(opts lsm.Options) EngineFactory {
 		stack := &EngineStack{Device: dev, UsedBytes: fs.UsedBytes}
 		stack.Engine = db
 		stack.Reopen = func() (Engine, error) {
-			db.Close()
+			if err := db.Close(); err != nil {
+				return nil, err
+			}
 			ndb, err := lsm.Open(fs, opts)
 			if err != nil {
 				return nil, err

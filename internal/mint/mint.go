@@ -459,15 +459,15 @@ func (c *Cluster) Stats() Stats {
 	return s
 }
 
-// Close shuts every node down.
+// Close shuts every node down and reports every failure.
 func (c *Cluster) Close() error {
-	var firstErr error
+	var errs []error
 	for _, g := range c.groups {
 		for _, n := range g.Nodes {
-			if err := n.db.Close(); err != nil && firstErr == nil && !errors.Is(err, core.ErrClosed) {
-				firstErr = err
+			if err := n.db.Close(); err != nil && !errors.Is(err, core.ErrClosed) {
+				errs = append(errs, err)
 			}
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }

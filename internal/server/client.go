@@ -166,17 +166,17 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	var firstErr error
+	var errs []error
 	for _, w := range c.conns {
 		if w == nil {
 			continue
 		}
-		if err := w.close(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := w.close(); err != nil {
+			errs = append(errs, err)
 		}
 		c.poolConns.Add(-1)
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // pick returns a healthy pooled connection, redialing a broken slot in

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
 
@@ -143,14 +144,15 @@ func (p *Pipeline) DropVersion(ctx context.Context, version uint64) *Future {
 	return p.issue(ctx, request{Op: OpDropVersion, Version: version})
 }
 
-// Wait blocks until every given future completes and returns the first
-// error among them (in argument order).
+// Wait blocks until every given future completes and returns the
+// joined errors among them (in argument order), or nil when all
+// succeeded.
 func Wait(futures ...*Future) error {
-	var firstErr error
+	var errs []error
 	for _, f := range futures {
-		if err := f.Err(); err != nil && firstErr == nil {
-			firstErr = err
+		if err := f.Err(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }

@@ -123,6 +123,7 @@ func (f *FTL) Write(lpn int, data []byte) (time.Duration, error) {
 	f.invalidateLocked(lpn)
 	b := f.blocks[f.active]
 	page := len(b.lpns)
+	//lint:ignore blockalign alignment is the caller's contract (blockfs slices f.tail[:pageSize]); the FTL forwards at most one page verbatim
 	c, err := f.dev.ProgramPage(OwnerFTL, f.active, page, data)
 	total += c
 	if err != nil {
@@ -265,6 +266,7 @@ func (f *FTL) migrateWriteLocked(lpn int, data []byte) (time.Duration, error) {
 	}
 	b := f.blocks[f.active]
 	page := len(b.lpns)
+	//lint:ignore blockalign GC migration re-programs a page read back from flash, so it is page-sized by construction
 	c, err := f.dev.ProgramPage(OwnerFTL, f.active, page, data)
 	total += c
 	if err != nil {
