@@ -1,4 +1,5 @@
 GO ?= go
+GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
 .PHONY: build test race vet lint bench bench-json fuzz-smoke check clean
 
@@ -28,13 +29,15 @@ bench:
 
 # Machine-readable benchmark report: the remote publish path plus the
 # core engine benchmarks, rendered to BENCH_directload.json by
-# cmd/benchjson (name -> ops/s, ns/op, B/op, allocs/op).
+# cmd/benchjson (name -> ops/s, ns/op, B/op, allocs/op). Each run also
+# appends one {git_sha, ts, results} line to BENCH_history.jsonl so
+# successive commits accumulate a regression series.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkRemotePublish' -benchmem -benchtime 20x ./internal/server/ > .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkFleet' -benchmem -benchtime 20x ./internal/fleet/ >> .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkPut20KB$$|BenchmarkGet20KB|BenchmarkGetDedup|BenchmarkDel|BenchmarkRecovery|BenchmarkPut20KBInstrumented' -benchmem -benchtime 50x ./internal/core/ >> .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkAOFAppendAligned' -benchmem -benchtime 200x ./internal/aof/ >> .bench.out
-	$(GO) run ./cmd/benchjson < .bench.out > BENCH_directload.json
+	$(GO) run ./cmd/benchjson -history BENCH_history.jsonl -sha $(GIT_SHA) < .bench.out > BENCH_directload.json
 	rm -f .bench.out
 	@echo wrote BENCH_directload.json
 

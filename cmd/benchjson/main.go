@@ -11,16 +11,23 @@
 // from the engine, remote-publish and fleet (quorum-write / hedged-read)
 // benchmark suites; custom ReportMetric units like puts/s and gets/s
 // ride along in `extra`.
+//
+// With -history set, one {git_sha, ts, results} line is also appended
+// to the given JSONL file, so successive runs accumulate a time series
+// regression trackers can diff (-sha labels the line; default
+// "unknown").
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // result is one benchmark's parsed figures. Fields the run did not
@@ -38,7 +45,13 @@ type result struct {
 // the -cpu suffix optional.
 var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
+var (
+	historyPath = flag.String("history", "", "append one {git_sha, ts, results} line to this JSONL file (empty = off)")
+	gitSHA      = flag.String("sha", "unknown", "commit label stamped onto the -history line")
+)
+
 func main() {
+	flag.Parse()
 	results := make(map[string]*result)
 	var order []string
 
@@ -109,4 +122,42 @@ func main() {
 	}
 	buf.WriteString("}\n")
 	os.Stdout.WriteString(buf.String())
+
+	if *historyPath != "" {
+		if err := appendHistory(*historyPath, *gitSHA, order, results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// historyLine is one appended record of the benchmark history file:
+// which commit, when, and every parsed result.
+type historyLine struct {
+	GitSHA  string             `json:"git_sha"`
+	TS      time.Time          `json:"ts"`
+	Results map[string]*result `json:"results"`
+}
+
+// appendHistory adds one JSONL line to path; append-only so successive
+// CI runs extend the series rather than replacing it.
+func appendHistory(path, sha string, order []string, results map[string]*result) error {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(historyLine{GitSHA: sha, TS: time.Now().UTC(), Results: results})
+	if err != nil {
+		_ = f.Close() // the marshal error is the one worth reporting
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: appended %d results for %s to %s\n", len(order), sha, path)
+	return nil
 }

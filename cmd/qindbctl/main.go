@@ -10,15 +10,22 @@
 //	qindbctl -addr 127.0.0.1:7707 stats
 //	qindbctl -addr 127.0.0.1:7707 ping
 //	qindbctl -http 127.0.0.1:8080 trace <trace-id>              # one trace's timeline
-//	qindbctl -http 127.0.0.1:8080 slowlog [-n 20]               # recent slow operations
-//	qindbctl fleet -nodes 'a,b,c' <put|get|drop|load|where|status>  # shard router over several nodes
+//	qindbctl trace -nodes 'h1:8080,h2:8080' <trace-id>          # fleet-wide merged timeline
+//	qindbctl -http 127.0.0.1:8080 slowlog [-n 20] [-op get] [-trace id]
+//	qindbctl -http 127.0.0.1:8080 events [-since N] [-n 20] [-follow]
+//	qindbctl fleet -nodes 'a,b,c' <put|get|drop|load|where|status|record>  # shard router over several nodes
 //
 // -timeout bounds each operation (and the dial); load streams stdin
 // into OpBatch frames, one round trip per batch instead of per record.
-// trace and slowlog talk to the daemon's operator HTTP address (qindbd
-// -metrics-addr) instead of the storage port. fleet ignores -addr and
+// trace, slowlog and events talk to the daemon's operator HTTP address
+// (qindbd -metrics-addr) instead of the storage port; trace -nodes
+// fetches the same trace id from every listed operator address and
+// merges the spans into one cross-node timeline. events -follow long
+// polls so new events stream as they happen. fleet ignores -addr and
 // routes to its -nodes with rendezvous placement, quorum writes and
-// hedged reads (see internal/fleet).
+// hedged reads (see internal/fleet); fleet record appends periodic
+// {ts, slo, throughput, p99, events} JSONL snapshots while driving
+// canary reads.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"directload/internal/metrics"
 	"directload/internal/server"
 )
 
@@ -46,11 +54,12 @@ var (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] [-timeout 5s] <put|putd|get|del|drop|range|load|stats|metrics|ping|trace|slowlog|fleet> [args]")
+	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] [-timeout 5s] <put|putd|get|del|drop|range|load|stats|metrics|ping|trace|slowlog|events|fleet> [args]")
 	fmt.Fprintln(os.Stderr, "       load <version>                  batched load of key<TAB>value lines from stdin")
 	fmt.Fprintln(os.Stderr, "       stats [-watch] [-interval 1s]   engine stats, or live metric deltas")
-	fmt.Fprintln(os.Stderr, "       trace <trace-id>                render one trace's timeline (-http address)")
-	fmt.Fprintln(os.Stderr, "       slowlog [-n N]                  recent slow operations (-http address)")
+	fmt.Fprintln(os.Stderr, "       trace [-nodes a,b] <trace-id>   one trace's timeline; -nodes merges spans fleet-wide")
+	fmt.Fprintln(os.Stderr, "       slowlog [-n N] [-op get] [-trace id]  recent slow operations (-http address)")
+	fmt.Fprintln(os.Stderr, "       events [-since N] [-n N] [-follow]    structured event log (-http address)")
 	fmt.Fprintln(os.Stderr, "       fleet -nodes 'a,b,c' <cmd>      shard router over several nodes (fleet -h)")
 	os.Exit(2)
 }
@@ -74,6 +83,73 @@ func fetchHTTP(path string) {
 	}
 }
 
+// splitList splits a comma-separated flag value, dropping empty parts.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// collectTrace fetches one trace id from every listed operator endpoint
+// and renders the merged fleet-wide timeline — spans from different
+// processes nest under their cross-node parents.
+func collectTrace(endpoints []string, id uint64) {
+	c := &metrics.TraceCollector{
+		Endpoints: endpoints,
+		Client:    &http.Client{Timeout: *timeout},
+	}
+	merged, err := c.Collect(context.Background(), id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := merged.WriteTimeline(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// followEvents long-polls the daemon's /events endpoint, printing new
+// events as they arrive and advancing the cursor, until interrupted.
+func followEvents(since uint64) {
+	client := &http.Client{} // long poll: the server bounds each wait, not the client
+	for {
+		url := fmt.Sprintf("http://%s/events?since=%d&wait=30s&format=json", *httpAddr, since)
+		resp, err := client.Get(url)
+		if err != nil {
+			log.Fatalf("GET %s: %v (is qindbd running with -metrics-addr %s?)", url, err, *httpAddr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			log.Fatalf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+		}
+		var evs []metrics.Event
+		err = json.NewDecoder(resp.Body).Decode(&evs)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatalf("decoding events: %v", err)
+		}
+		for _, e := range evs {
+			suffix := ""
+			if e.Node != "" {
+				suffix += " node=" + e.Node
+			}
+			if e.Version != 0 {
+				suffix += fmt.Sprintf(" v%d", e.Version)
+			}
+			if e.Detail != "" {
+				suffix += " " + e.Detail
+			}
+			fmt.Printf("%d %s %s%s\n", e.Seq, e.Time.Format(time.RFC3339Nano), e.Type, suffix)
+			if e.Seq > since {
+				since = e.Seq
+			}
+		}
+	}
+}
+
 func parseVersion(s string) uint64 {
 	v, err := strconv.ParseUint(s, 10, 64)
 	if err != nil {
@@ -94,20 +170,49 @@ func main() {
 	// reason to require the storage port to be dialable.
 	switch cmd {
 	case "trace":
-		if len(args) != 1 {
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		nodes := fs.String("nodes", "", "comma-separated operator HTTP addresses; fetch this trace from every one and merge into a fleet-wide timeline")
+		fs.Parse(args)
+		if fs.NArg() != 1 {
 			usage()
 		}
-		id := strings.TrimPrefix(args[0], "0x")
-		if _, err := strconv.ParseUint(id, 16, 64); err != nil {
-			log.Fatalf("bad trace id %q (want hex): %v", args[0], err)
+		id := strings.TrimPrefix(fs.Arg(0), "0x")
+		idNum, err := strconv.ParseUint(id, 16, 64)
+		if err != nil {
+			log.Fatalf("bad trace id %q (want hex): %v", fs.Arg(0), err)
+		}
+		if *nodes != "" {
+			collectTrace(splitList(*nodes), idNum)
+			return
 		}
 		fetchHTTP("/debug/trace?id=" + id)
 		return
 	case "slowlog":
 		fs := flag.NewFlagSet("slowlog", flag.ExitOnError)
 		n := fs.Int("n", 0, "show only the newest N entries (0 = all retained)")
+		op := fs.String("op", "", "show only this operation (put, get, batch, ...)")
+		traceID := fs.String("trace", "", "show only entries of this trace id (hex)")
 		fs.Parse(args)
-		fetchHTTP(fmt.Sprintf("/debug/slowlog?n=%d", *n))
+		path := fmt.Sprintf("/debug/slowlog?n=%d", *n)
+		if *op != "" {
+			path += "&op=" + *op
+		}
+		if *traceID != "" {
+			path += "&trace=" + strings.TrimPrefix(*traceID, "0x")
+		}
+		fetchHTTP(path)
+		return
+	case "events":
+		fs := flag.NewFlagSet("events", flag.ExitOnError)
+		since := fs.Uint64("since", 0, "resume after this sequence number")
+		n := fs.Int("n", 0, "show only the newest N events (0 = all retained)")
+		follow := fs.Bool("follow", false, "long-poll for new events until interrupted")
+		fs.Parse(args)
+		if *follow {
+			followEvents(*since)
+			return
+		}
+		fetchHTTP(fmt.Sprintf("/events?since=%d&n=%d", *since, *n))
 		return
 	case "fleet":
 		// The router dials its own nodes; -addr is not involved.

@@ -16,9 +16,12 @@
 // concurrently per connection.
 //
 // With -metrics-addr set the daemon exposes the operator endpoints of
-// internal/ops: /metrics (text, ?format=json, ?format=prom), /healthz,
-// /readyz, /debug/trace, /debug/slowlog, and (with -pprof) the runtime
-// profiler under /debug/pprof/.
+// internal/ops: /metrics (text, ?format=json, ?format=prom), /slo,
+// /events, /healthz, /readyz, /debug/trace, /debug/trace/export,
+// /debug/slowlog, and (with -pprof) the runtime profiler under
+// /debug/pprof/. With -record set it appends one JSONL snapshot of
+// {slo, throughput, p99, events} per -record-interval to the given
+// file — the artifact a chaos run or canary deploy is judged against.
 package main
 
 import (
@@ -55,6 +58,11 @@ var (
 	readTimeout   = flag.Duration("read-timeout", 0, "per-frame read deadline, doubles as idle timeout (0 = none)")
 	writeTimeout  = flag.Duration("write-timeout", 0, "per-frame write deadline (0 = none)")
 	shutdownGrace = flag.Duration("shutdown-grace", 3*time.Second, "deadline for draining the metrics HTTP server on shutdown")
+	nodeID        = flag.String("node-id", "", "node name stamped onto exported trace spans (default: the listen address)")
+	sloReadTarget = flag.Float64("slo-read-target", 0.006, "tolerated get-miss ratio for the read SLO (paper: 0.006; 0 = off)")
+	eventsCap     = flag.Int("events-cap", 0, "structured events retained for /events (0 = default 1024)")
+	recordPath    = flag.String("record", "", "append periodic {ts, slo, throughput, p99} JSONL snapshots to this file (empty = off)")
+	recordEvery   = flag.Duration("record-interval", time.Second, "snapshot cadence for -record")
 )
 
 // readiness builds the /readyz check: the engine must be open, the AOF
@@ -96,19 +104,37 @@ func main() {
 	defer db.Close()
 
 	slow := metrics.NewSlowLog(*slowCap, *slowThresh)
+	events := metrics.NewEventLog(*eventsCap)
+	var readSLO *metrics.SLO
+	if *sloReadTarget > 0 {
+		readSLO = metrics.NewSLO(metrics.SLOConfig{
+			Name:   "node.read",
+			Target: *sloReadTarget,
+			Events: events,
+		})
+		readSLO.Register(reg)
+	}
 	s := server.New(db)
 	s.SetMetrics(reg)
 	s.SetSlowLog(slow)
+	s.SetReadSLO(readSLO)
 	if *maxInFlight > 0 {
 		s.SetMaxInFlight(*maxInFlight)
 	}
 	s.SetTimeouts(*readTimeout, *writeTimeout)
 
+	node := *nodeID
+	if node == "" {
+		node = *addr
+	}
 	var opsSrv *ops.Server
 	if *metricsAddr != "" {
 		opsSrv, err = ops.Listen(*metricsAddr, ops.Config{
 			Registry:    reg,
 			SlowLog:     slow,
+			Node:        node,
+			SLOs:        []*metrics.SLO{readSLO},
+			Events:      events,
 			Ready:       readiness(db, *memHighWater),
 			EnablePprof: *pprofOn,
 		})
@@ -117,6 +143,24 @@ func main() {
 		}
 		go opsSrv.Serve()
 		log.Printf("qindbd: operator endpoints on http://%s/metrics", opsSrv.Addr())
+	}
+	var recorder *metrics.Recorder
+	if *recordPath != "" {
+		recorder, err = metrics.NewRecorder(metrics.RecorderConfig{
+			Path:             *recordPath,
+			Interval:         *recordEvery,
+			Registry:         reg,
+			SLOs:             []*metrics.SLO{readSLO},
+			Events:           events,
+			RateCounters:     []string{"server.req.get", "server.req.put", "server.req.putd", "server.req.batch"},
+			LatencyHistogram: "server.req.get.latency_us",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		recorder.Start()
+		defer recorder.Close()
+		log.Printf("qindbd: recording time series to %s every %s", *recordPath, *recordEvery)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -42,6 +42,8 @@ var guardedTypes = map[string]bool{
 	"Counter":   true,
 	"Gauge":     true,
 	"Histogram": true,
+	"SLO":       true,
+	"EventLog":  true,
 }
 
 // isGuardedNamed reports whether t (sans pointer) is one of the

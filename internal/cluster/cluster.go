@@ -47,6 +47,15 @@ type Config struct {
 	// metrics and is propagated to the shipper, the deduper and (unless
 	// already set) the Mint clusters. Nil keeps all paths allocation-free.
 	Metrics *metrics.Registry
+	// Events, when non-nil, receives version.publish and version.retire
+	// lifecycle events.
+	Events *metrics.EventLog
+	// CycleSLO, when non-nil, is fed one event per successful publish:
+	// good when the cycle's EffectiveTime stayed within CycleTarget.
+	CycleSLO *metrics.SLO
+	// CycleTarget is the publish-cycle deadline CycleSLO judges against
+	// (default 1h — the paper's hourly full-index update cadence).
+	CycleTarget time.Duration
 }
 
 // DefaultConfig returns a small, structurally faithful deployment.
@@ -174,6 +183,9 @@ func New(cfg Config) (*DirectLoad, error) {
 	}
 	if cfg.RetainVersions <= 0 {
 		cfg.RetainVersions = 4
+	}
+	if cfg.CycleTarget <= 0 {
+		cfg.CycleTarget = time.Hour
 	}
 	if cfg.Mint.Metrics == nil {
 		cfg.Mint.Metrics = cfg.Metrics
@@ -426,6 +438,10 @@ func (d *DirectLoad) PublishVersionContext(ctx context.Context, version uint64, 
 	rep.Dedup = d.Deduper.AdvanceVersion()
 	rep.MissRatio = d.Shipper.MissRatio()
 	d.met.published.Inc()
+	eff := rep.EffectiveTime()
+	d.cfg.Events.Emitf(metrics.EventVersionPublish, "", version,
+		"keys=%d effective=%s", len(entries), eff)
+	d.cfg.CycleSLO.Record(eff <= d.cfg.CycleTarget)
 	if lag := rep.replicationLag(); lag >= 0 {
 		d.met.replLagUs.Set(int64(lag / time.Microsecond))
 	}
@@ -455,6 +471,7 @@ func (d *DirectLoad) PublishVersionContext(ctx context.Context, version uint64, 
 				dc.active = 0
 			}
 		}
+		d.cfg.Events.Emit(metrics.EventVersionRetire, "", old, "retention")
 	}
 	return rep, nil
 }

@@ -82,6 +82,17 @@ type Config struct {
 	BreakerCooldown time.Duration
 	// Metrics, when non-nil, receives the fleet.* metrics and traces.
 	Metrics *metrics.Registry
+	// SLO, when non-nil, is fed one good event per successful read and
+	// one bad event per fleet-wide miss — the read-availability
+	// objective the paper reports (0.24 % observed vs 0.6 % allowed).
+	SLO *metrics.SLO
+	// Events, when non-nil, receives breaker, handoff and node up/down
+	// lifecycle events.
+	Events *metrics.EventLog
+	// OpsAddrs are the nodes' operator HTTP addresses (same order as
+	// the flattened Groups is not required — any covering set works),
+	// used by CollectTrace to aggregate spans across the fleet.
+	OpsAddrs []string
 	// DialOpts apply to every node client (pool size, timeout, ...).
 	DialOpts []server.DialOption
 }
@@ -171,8 +182,10 @@ type Fleet struct {
 	nodes  []*node
 	byID   map[string]*node
 
-	reg *metrics.Registry
-	met fleetMetrics
+	reg    *metrics.Registry
+	met    fleetMetrics
+	slo    *metrics.SLO
+	events *metrics.EventLog
 
 	wg     sync.WaitGroup // prober + async repairs
 	stop   chan struct{}
@@ -229,12 +242,14 @@ func New(cfg Config) (*Fleet, error) {
 		cfg.BreakerCooldown = time.Second
 	}
 	f := &Fleet{
-		cfg:   cfg,
-		place: mint.Placement{Replicas: cfg.Replicas},
-		byID:  make(map[string]*node),
-		reg:   cfg.Metrics,
-		met:   newFleetMetrics(cfg.Metrics),
-		stop:  make(chan struct{}),
+		cfg:    cfg,
+		place:  mint.Placement{Replicas: cfg.Replicas},
+		byID:   make(map[string]*node),
+		reg:    cfg.Metrics,
+		met:    newFleetMetrics(cfg.Metrics),
+		slo:    cfg.SLO,
+		events: cfg.Events,
+		stop:   make(chan struct{}),
 	}
 	for g, addrs := range cfg.Groups {
 		if len(addrs) < cfg.Replicas {
@@ -354,11 +369,42 @@ func transportErr(err error) bool {
 	return true
 }
 
-// nodeFailure routes a transport failure into the node's breaker.
+// nodeFailure routes a transport failure into the node's breaker,
+// emitting breaker.open when this failure tripped it.
 func (f *Fleet) nodeFailure(n *node, err error) {
 	if n.onFailure(err, f.cfg.BreakerThreshold, f.cfg.BreakerCooldown) {
 		f.met.breakerOpens.Inc()
+		f.events.Emitf(metrics.EventBreakerOpen, n.id, 0,
+			"%d consecutive transport failures: %v", f.cfg.BreakerThreshold, err)
 	}
+}
+
+// nodeSuccess routes a healthy response into the node's breaker,
+// emitting breaker.close when the node was recovering.
+func (f *Fleet) nodeSuccess(n *node) {
+	if n.onSuccess() {
+		f.events.Emit(metrics.EventBreakerClose, n.id, 0, "")
+	}
+}
+
+// nodeAvailable asks the node's breaker to admit a request, emitting
+// breaker.half_open when this call started a cooldown trial.
+func (f *Fleet) nodeAvailable(n *node) bool {
+	admit, trial := n.available(f.cfg.BreakerCooldown)
+	if trial {
+		f.events.Emit(metrics.EventBreakerHalfOpen, n.id, 0, "cooldown trial")
+	}
+	return admit
+}
+
+// queueHandoff queues a node's owed hints, keeping the handoff metrics
+// and event log in step.
+func (f *Fleet) queueHandoff(n *node, hs []hint) {
+	queued, dropped := n.queueHints(hs, f.cfg.HandoffLimit)
+	f.met.handoffQueued.Add(int64(queued))
+	f.met.handoffDropped.Add(int64(dropped))
+	f.met.handoffDepth.Add(int64(queued))
+	f.events.Emitf(metrics.EventHandoffEnqueue, n.id, 0, "queued=%d dropped=%d", queued, dropped)
 }
 
 // --- writes -----------------------------------------------------------------
@@ -442,20 +488,20 @@ func (f *Fleet) writeNode(ctx context.Context, n *node, version uint64, entries 
 	_, end := f.reg.ContinueSpanNote(ctx, "fleet.replica.write",
 		fmt.Sprintf("%s ops=%d", n.id, len(idxs)))
 	defer func() { end(err) }()
-	if !n.available(f.cfg.BreakerCooldown) {
+	if !f.nodeAvailable(n) {
 		f.hintPuts(n, version, entries, idxs)
 		return fmt.Errorf("%w (%s)", ErrBreakerOpen, n.id)
 	}
 	for attempt := 0; ; attempt++ {
 		err = f.tryWrite(ctx, n, version, entries, idxs)
 		if err == nil {
-			n.onSuccess()
+			f.nodeSuccess(n)
 			return nil
 		}
 		if !transportErr(err) {
 			// The node answered: a sub-op failed server-side. Retrying or
 			// hinting the same bytes cannot fix that; surface it.
-			n.onSuccess()
+			f.nodeSuccess(n)
 			return err
 		}
 		f.nodeFailure(n, err)
@@ -498,10 +544,7 @@ func (f *Fleet) hintPuts(n *node, version uint64, entries []Entry, idxs []int) {
 		}
 		hs = append(hs, hint{op: op, key: entries[i].Key, version: version, value: entries[i].Value})
 	}
-	queued, dropped := n.queueHints(hs, f.cfg.HandoffLimit)
-	f.met.handoffQueued.Add(int64(queued))
-	f.met.handoffDropped.Add(int64(dropped))
-	f.met.handoffDepth.Add(int64(queued))
+	f.queueHandoff(n, hs)
 }
 
 // DropVersion retires a version on every node. Unreachable nodes get
@@ -517,12 +560,9 @@ func (f *Fleet) DropVersion(ctx context.Context, version uint64) error {
 		go func(i int, n *node) {
 			defer wg.Done()
 			hintDrop := func() {
-				q, d := n.queueHints([]hint{{op: server.OpDropVersion, version: version}}, f.cfg.HandoffLimit)
-				f.met.handoffQueued.Add(int64(q))
-				f.met.handoffDropped.Add(int64(d))
-				f.met.handoffDepth.Add(int64(q))
+				f.queueHandoff(n, []hint{{op: server.OpDropVersion, version: version}})
 			}
-			if !n.available(f.cfg.BreakerCooldown) {
+			if !f.nodeAvailable(n) {
 				hintDrop()
 				return
 			}
@@ -531,7 +571,7 @@ func (f *Fleet) DropVersion(ctx context.Context, version uint64) error {
 				err = cl.DropVersionContext(ctx, version)
 			}
 			if err == nil {
-				n.onSuccess()
+				f.nodeSuccess(n)
 				return
 			}
 			if transportErr(err) {
@@ -567,7 +607,7 @@ func (f *Fleet) Get(ctx context.Context, key []byte, version uint64) (val []byte
 	ordered := make([]*node, 0, len(replicas))
 	var skipped []*node
 	for _, n := range replicas {
-		if n.available(f.cfg.BreakerCooldown) {
+		if f.nodeAvailable(n) {
 			ordered = append(ordered, n)
 		} else {
 			skipped = append(skipped, n)
@@ -616,18 +656,19 @@ func (f *Fleet) Get(ctx context.Context, key []byte, version uint64) (val []byte
 		case r := <-resCh:
 			pending--
 			if r.err == nil {
-				r.n.onSuccess()
+				f.nodeSuccess(r.n)
 				f.met.readLat.Observe(float64(time.Since(start)) / float64(time.Microsecond))
 				if r.i > 0 {
 					f.met.hedgeWins.Inc()
 				}
+				f.slo.Record(true)
 				f.repair(key, version, r.val, stale)
 				return r.val, nil
 			}
 			if transportErr(r.err) {
 				f.nodeFailure(r.n, r.err)
 			} else {
-				r.n.onSuccess()
+				f.nodeSuccess(r.n)
 				if errors.Is(r.err, core.ErrNotFound) {
 					stale = append(stale, r.n)
 				}
@@ -651,6 +692,7 @@ func (f *Fleet) Get(ctx context.Context, key []byte, version uint64) (val []byte
 		}
 	}
 	f.met.misses.Inc()
+	f.slo.Record(false)
 	if lastErr == nil {
 		lastErr = ErrAllReplicas
 	}
@@ -737,9 +779,15 @@ func (f *Fleet) probe(n *node) {
 	}
 	if err != nil {
 		f.nodeFailure(n, err)
+		if n.setProbe(false) {
+			f.events.Emitf(metrics.EventNodeDown, n.id, 0, "probe: %v", err)
+		}
 		return
 	}
-	n.onSuccess()
+	f.nodeSuccess(n)
+	if n.setProbe(true) {
+		f.events.Emit(metrics.EventNodeUp, n.id, 0, "probe ok")
+	}
 	if n.handoffDepth() > 0 {
 		f.drainHandoff(ctx, n)
 	}
@@ -777,8 +825,23 @@ func (f *Fleet) drainHandoff(ctx context.Context, n *node) error {
 		q, d := n.queueHints(hs, f.cfg.HandoffLimit)
 		f.met.handoffDepth.Add(int64(q))
 		f.met.handoffDropped.Add(int64(d))
+		f.events.Emitf(metrics.EventHandoffEnqueue, n.id, 0, "requeued=%d dropped=%d after failed drain", q, d)
 		return err
 	}
 	f.met.handoffDrained.Add(int64(len(hs)))
+	f.events.Emitf(metrics.EventHandoffDrain, n.id, 0, "drained=%d", len(hs))
 	return err
+}
+
+// CollectTrace fetches one trace's spans from every configured ops
+// endpoint (Config.OpsAddrs) plus the router's own tracer, and merges
+// them into a single fleet-wide timeline. The router's spans are
+// labeled "fleet-router"; each node labels its own (ops.Config.Node).
+func (f *Fleet) CollectTrace(ctx context.Context, id uint64) (metrics.MergedTrace, error) {
+	c := &metrics.TraceCollector{
+		Endpoints: f.cfg.OpsAddrs,
+		Local:     f.reg.Tracer(),
+		LocalNode: "fleet-router",
+	}
+	return c.Collect(ctx, id)
 }

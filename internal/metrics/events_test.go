@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogNil(t *testing.T) {
+	var l *EventLog
+	if seq := l.Emit(EventNodeUp, "n1", 0, ""); seq != 0 {
+		t.Fatalf("nil Emit = %d", seq)
+	}
+	if l.LastSeq() != 0 || l.Since(0, 0) != nil {
+		t.Fatal("nil log must answer zero values")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if evs := l.Wait(ctx, 0); evs != nil {
+		t.Fatalf("nil Wait = %+v", evs)
+	}
+}
+
+func TestEventLogSeqAndSince(t *testing.T) {
+	l := NewEventLog(8)
+	for i := 0; i < 5; i++ {
+		l.Emit(EventVersionPublish, "", uint64(i+1), "")
+	}
+	if got := l.LastSeq(); got != 5 {
+		t.Fatalf("LastSeq = %d, want 5", got)
+	}
+	evs := l.Since(2, 0)
+	if len(evs) != 3 || evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("Since(2) = %+v", evs)
+	}
+	// max keeps the newest.
+	evs = l.Since(0, 2)
+	if len(evs) != 2 || evs[0].Seq != 4 {
+		t.Fatalf("Since(0, max=2) = %+v", evs)
+	}
+}
+
+func TestEventLogEviction(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(EventNodeDown, "n1", 0, "")
+	}
+	evs := l.Since(0, 0)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d, want 4", len(evs))
+	}
+	// The ring holds the newest 4; sequence numbers expose the gap.
+	if evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("retained seqs %d..%d, want 7..10", evs[0].Seq, evs[3].Seq)
+	}
+}
+
+func TestEventLogWait(t *testing.T) {
+	l := NewEventLog(8)
+	l.Emit(EventNodeUp, "n1", 0, "")
+
+	// Past events satisfy the wait immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if evs := l.Wait(ctx, 0); len(evs) != 1 {
+		t.Fatalf("Wait(0) = %+v", evs)
+	}
+
+	// A future event releases a blocked waiter.
+	got := make(chan []Event, 1)
+	go func() { got <- l.Wait(ctx, 1) }()
+	time.Sleep(10 * time.Millisecond) // let the waiter block
+	l.Emit(EventNodeDown, "n2", 0, "probe timeout")
+	select {
+	case evs := <-got:
+		if len(evs) != 1 || evs[0].Type != EventNodeDown {
+			t.Fatalf("released with %+v", evs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never released")
+	}
+
+	// Context expiry unblocks with nil.
+	short, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if evs := l.Wait(short, l.LastSeq()); evs != nil {
+		t.Fatalf("expired Wait = %+v", evs)
+	}
+}
+
+func TestEventLogJSONAndText(t *testing.T) {
+	l := NewEventLog(8)
+	l.Emit(EventBreakerOpen, "n3", 0, "5 consecutive failures")
+	l.Emit(EventVersionRetire, "", 7, "")
+
+	raw, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.Unmarshal(raw, &evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Type != EventBreakerOpen || evs[1].Version != 7 {
+		t.Fatalf("round-trip = %+v", evs)
+	}
+
+	var sb strings.Builder
+	if _, err := l.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"breaker.open", "node=n3", "5 consecutive failures", "version.retire", "v7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text dump missing %q:\n%s", want, out)
+		}
+	}
+}

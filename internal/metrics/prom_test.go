@@ -75,6 +75,42 @@ func TestWritePrometheusShape(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusSummariesComplete scans every summary family in
+// the exposition and requires both the _sum and _count series —
+// Prometheus clients compute rates from those, so a family missing
+// either silently breaks dashboards.
+func TestWritePrometheusSummariesComplete(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"qindb.put.latency_us", "fleet.read.latency_us", "relay.ship.latency_us"} {
+		h := r.Histogram(name)
+		for i := 1; i <= 10; i++ {
+			h.Observe(float64(i))
+		}
+	}
+	var sb strings.Builder
+	if _, err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	families := 0
+	for _, line := range strings.Split(out, "\n") {
+		rest, ok := strings.CutPrefix(line, "# TYPE ")
+		if !ok || !strings.HasSuffix(rest, " summary") {
+			continue
+		}
+		families++
+		name := strings.TrimSuffix(rest, " summary")
+		for _, series := range []string{name + "_sum ", name + "_count "} {
+			if !strings.Contains(out, "\n"+series) {
+				t.Errorf("summary %s missing %q series:\n%s", name, strings.TrimSpace(series), out)
+			}
+		}
+	}
+	if families < 3 {
+		t.Fatalf("expected at least 3 summary families, scanned %d:\n%s", families, out)
+	}
+}
+
 // TestWritePrometheusCollision checks that two registry names mapping
 // to one sanitized name emit only a single family (first wins) instead
 // of an invalid duplicated exposition.

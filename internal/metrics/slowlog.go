@@ -125,6 +125,31 @@ func (l *SlowLog) Entries(n int) []SlowEntry {
 	return out
 }
 
+// FilterEntries returns the retained entries oldest first, keeping only
+// those matching op (when non-empty) and trace (when nonzero). n > 0
+// keeps only the newest n matches — the filter runs before the cut, so
+// "-n 5 -op publish" means the five newest publish entries.
+func (l *SlowLog) FilterEntries(n int, op string, trace uint64) []SlowEntry {
+	if l == nil {
+		return nil
+	}
+	all := l.Entries(0)
+	out := all[:0:0]
+	for _, e := range all {
+		if op != "" && e.Op != op {
+			continue
+		}
+		if trace != 0 && e.TraceID != trace {
+			continue
+		}
+		out = append(out, e)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
 // MarshalJSON exports the retained entries, oldest first.
 func (l *SlowLog) MarshalJSON() ([]byte, error) {
 	entries := l.Entries(0)

@@ -24,6 +24,11 @@ type SpanRecord struct {
 	SpanID   uint64        `json:"span_id,omitempty"`
 	ParentID uint64        `json:"parent_id,omitempty"`
 	Note     string        `json:"note,omitempty"`
+	// Node names the process that recorded the span. Local tracers
+	// leave it empty; the cross-node TraceCollector stamps it while
+	// merging exports, so a fleet-wide timeline says which machine
+	// each span ran on.
+	Node string `json:"node,omitempty"`
 }
 
 // Tracer keeps a bounded ring buffer of completed spans plus a latency

@@ -5,9 +5,17 @@
 // so every binary exposes the same endpoints the docs describe:
 //
 //	/metrics             text dump; ?format=json | ?format=prom
+//	/slo                 SLO trackers: per-window ratios and burn
+//	                     rates; ?format=json
+//	/events              structured event log, oldest first; ?since=
+//	                     <seq> resumes a cursor, ?n=<count> keeps the
+//	                     newest n, ?wait=<dur> long-polls, ?format=json
 //	/debug/trace         span ring + latency summaries; ?id=<hex> for
 //	                     one trace's timeline; ?format=json
+//	/debug/trace/export  machine-readable spans of one trace (?id=
+//	                     <hex>, required) for cross-node aggregation
 //	/debug/slowlog       slow operations, oldest first; ?n=<count>,
+//	                     ?op=<name> and ?trace=<hex> filter,
 //	                     ?format=json
 //	/fleet               fleet router snapshot (placement, breakers,
 //	                     handoff depths); ?format=json
@@ -25,6 +33,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"directload/internal/fleet"
 	"directload/internal/metrics"
@@ -38,6 +47,14 @@ type Config struct {
 	Registry *metrics.Registry
 	// SlowLog backs /debug/slowlog.
 	SlowLog *metrics.SlowLog
+	// Node names this process in /debug/trace/export payloads so the
+	// cross-node trace collector can label merged spans.
+	Node string
+	// SLOs back /slo (and ride along in ?format=prom via their
+	// registered gauges).
+	SLOs []*metrics.SLO
+	// Events backs /events.
+	Events *metrics.EventLog
 	// Ready, when set, backs /readyz: nil means ready, an error is
 	// reported with a 503. When unset /readyz behaves like /healthz.
 	Ready func() error
@@ -66,6 +83,110 @@ func NewMux(cfg Config) *http.ServeMux {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			cfg.Registry.WriteTo(w)
 		}
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		snaps := make([]metrics.SLOSnapshot, 0, len(cfg.SLOs))
+		for _, s := range cfg.SLOs {
+			if s == nil {
+				continue
+			}
+			snaps = append(snaps, s.Snapshot())
+		}
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(snaps)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, snap := range snaps {
+			fmt.Fprintf(w, "slo %s target=%g total_good=%d total_bad=%d\n",
+				snap.Name, snap.Target, snap.TotalGood, snap.TotalBad)
+			for _, win := range snap.Windows {
+				fmt.Fprintf(w, "  %-4s good=%d bad=%d ratio=%.6f burn=%.2fx\n",
+					win.Window, win.Good, win.Bad, win.Ratio, win.BurnRate)
+			}
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		var since uint64
+		if sStr := q.Get("since"); sStr != "" {
+			v, err := strconv.ParseUint(sStr, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since (want decimal sequence number)", http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		n := 0
+		if nStr := q.Get("n"); nStr != "" {
+			v, err := strconv.Atoi(nStr)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n (want non-negative integer)", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		var evs []metrics.Event
+		if waitStr := q.Get("wait"); waitStr != "" {
+			d, err := time.ParseDuration(waitStr)
+			if err != nil || d <= 0 {
+				http.Error(w, "bad wait (want positive duration)", http.StatusBadRequest)
+				return
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			evs = cfg.Events.Wait(ctx, since)
+			cancel()
+			if n > 0 && len(evs) > n {
+				evs = evs[len(evs)-n:]
+			}
+		} else {
+			evs = cfg.Events.Since(since, n)
+		}
+		if q.Get("format") == "json" {
+			if evs == nil {
+				evs = []metrics.Event{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(evs)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range evs {
+			suffix := ""
+			if e.Node != "" {
+				suffix += " node=" + e.Node
+			}
+			if e.Version != 0 {
+				suffix += fmt.Sprintf(" v%d", e.Version)
+			}
+			if e.Detail != "" {
+				suffix += " " + e.Detail
+			}
+			fmt.Fprintf(w, "%d %s %s%s\n", e.Seq, e.Time.Format(time.RFC3339Nano), e.Type, suffix)
+		}
+	})
+	mux.HandleFunc("/debug/trace/export", func(w http.ResponseWriter, r *http.Request) {
+		idStr := r.URL.Query().Get("id")
+		if idStr == "" {
+			http.Error(w, "missing id (want hex trace id)", http.StatusBadRequest)
+			return
+		}
+		id, err := strconv.ParseUint(idStr, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+			return
+		}
+		spans := cfg.Registry.Tracer().Trace(id)
+		if spans == nil {
+			spans = []metrics.SpanRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(metrics.TraceExport{
+			Node:    cfg.Node,
+			TraceID: fmt.Sprintf("%016x", id),
+			Spans:   spans,
+		})
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
@@ -112,9 +233,19 @@ func NewMux(cfg Config) *http.ServeMux {
 			}
 			n = v
 		}
+		op := q.Get("op")
+		var trace uint64
+		if tStr := q.Get("trace"); tStr != "" {
+			v, err := strconv.ParseUint(tStr, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace (want hex trace id)", http.StatusBadRequest)
+				return
+			}
+			trace = v
+		}
 		if q.Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
-			entries := cfg.SlowLog.Entries(n)
+			entries := cfg.SlowLog.FilterEntries(n, op, trace)
 			if entries == nil {
 				entries = []metrics.SlowEntry{}
 			}
@@ -122,8 +253,8 @@ func NewMux(cfg Config) *http.ServeMux {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if n > 0 {
-			for _, e := range cfg.SlowLog.Entries(n) {
+		if n > 0 || op != "" || trace != 0 {
+			for _, e := range cfg.SlowLog.FilterEntries(n, op, trace) {
 				fmt.Fprintf(w, "%s %s %q %s\n", e.Time.Format("15:04:05.000"), e.Op, e.Key, e.Dur)
 			}
 			return

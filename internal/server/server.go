@@ -54,7 +54,8 @@ type Server struct {
 	maxProto     atomic.Int32
 	noTrace      atomic.Bool // refuse the trace feature in hellos
 
-	slow atomic.Pointer[metrics.SlowLog]
+	slow    atomic.Pointer[metrics.SlowLog]
+	readSLO atomic.Pointer[metrics.SLO]
 
 	reg *metrics.Registry
 	met serverMetrics
@@ -163,6 +164,13 @@ func (s *Server) SetSlowLog(l *metrics.SlowLog) {
 // SlowLog returns the attached slow-op log (nil when none).
 func (s *Server) SlowLog() *metrics.SlowLog {
 	return s.slow.Load()
+}
+
+// SetReadSLO attaches a read-availability SLO tracker: every dispatched
+// OpGet feeds it one event — good when the get answered StatusOK, bad
+// on not-found or failure. Nil detaches. Safe at runtime.
+func (s *Server) SetReadSLO(slo *metrics.SLO) {
+	s.readSLO.Store(slo)
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
@@ -443,6 +451,10 @@ func (s *Server) dispatch(ctx context.Context, req request, proto int) []byte {
 	elapsed := time.Since(start)
 	s.met.reqs[req.Op].Inc()
 	s.met.lat[req.Op].Observe(float64(elapsed) / float64(time.Microsecond))
+	if req.Op == OpGet {
+		st, _, derr := decodeResponse(resp)
+		s.readSLO.Load().Record(derr == nil && st == StatusOK)
+	}
 	slow := s.slow.Load()
 	if end != nil || slow != nil {
 		var msg string
