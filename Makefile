@@ -37,6 +37,7 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkFleet' -benchmem -benchtime 20x ./internal/fleet/ >> .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkPut20KB$$|BenchmarkGet20KB|BenchmarkGetDedup|BenchmarkDel|BenchmarkRecovery|BenchmarkPut20KBInstrumented' -benchmem -benchtime 50x ./internal/core/ >> .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkAOFAppendAligned' -benchmem -benchtime 200x ./internal/aof/ >> .bench.out
+	$(GO) test -run xxx -bench 'BenchmarkRESPPipelined' -benchmem -benchtime 20000x ./internal/resp/ >> .bench.out
 	$(GO) run ./cmd/benchjson -history BENCH_history.jsonl -sha $(GIT_SHA) < .bench.out > BENCH_directload.json
 	rm -f .bench.out
 	@echo wrote BENCH_directload.json
@@ -49,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzRequest$$' -fuzztime 10s ./internal/server/
 	$(GO) test -run xxx -fuzz '^FuzzFrameV2$$' -fuzztime 10s ./internal/server/
 	$(GO) test -run xxx -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/aof/
+	$(GO) test -run xxx -fuzz '^FuzzRESPParse$$' -fuzztime 10s ./internal/resp/
 
 # Full pre-merge gate: compile, standard vet, the repo's own analyzer
 # suite, unit tests, then the race detector over every package.

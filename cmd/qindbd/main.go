@@ -15,6 +15,16 @@
 // requests; -max-inflight bounds how many the server dispatches
 // concurrently per connection.
 //
+// With -resp-addr set the daemon additionally serves the same engine
+// over RESP2 (the Redis protocol), so redis-cli and off-the-shelf Redis
+// clients work out of the box:
+//
+//	go run ./cmd/qindbd -addr 127.0.0.1:7707 -resp-addr 127.0.0.1:6379
+//	redis-cli -p 6379 SET greeting hello
+//
+// Both listeners share one server.Backend — one engine, one set of
+// server.* metrics, one slowlog, one trace timeline.
+//
 // With -metrics-addr set the daemon exposes the operator endpoints of
 // internal/ops: /metrics (text, ?format=json, ?format=prom), /slo,
 // /events, /healthz, /readyz, /debug/trace, /debug/trace/export,
@@ -39,12 +49,14 @@ import (
 	"directload/internal/core"
 	"directload/internal/metrics"
 	"directload/internal/ops"
+	"directload/internal/resp"
 	"directload/internal/server"
 	"directload/internal/ssd"
 )
 
 var (
 	addr          = flag.String("addr", "127.0.0.1:7707", "listen address")
+	respAddr      = flag.String("resp-addr", "", "Redis-compatible (RESP2) listen address (empty = off)")
 	capacity      = flag.Int64("capacity", 1<<30, "simulated SSD capacity in bytes")
 	aofSize       = flag.Int64("aof", 64<<20, "AOF file size in bytes (paper: 64 MB)")
 	gcThresh      = flag.Float64("gc", 0.25, "lazy GC occupancy threshold (paper: 0.25)")
@@ -127,6 +139,19 @@ func main() {
 	if node == "" {
 		node = *addr
 	}
+	var respSrv *resp.Server
+	if *respAddr != "" {
+		// The RESP front door shares the native listener's Backend:
+		// same engine, same server.* metrics, same slowlog and SLO.
+		respSrv = resp.New(s.Backend())
+		respSrv.SetNode(node)
+		go func() {
+			if err := respSrv.ListenAndServe(*respAddr); err != nil {
+				log.Printf("qindbd: resp listener: %v", err)
+			}
+		}()
+		log.Printf("qindbd: RESP (Redis-compatible) listener on %s", *respAddr)
+	}
 	var opsSrv *ops.Server
 	if *metricsAddr != "" {
 		opsSrv, err = ops.Listen(*metricsAddr, ops.Config{
@@ -167,6 +192,9 @@ func main() {
 	go func() {
 		<-sig
 		log.Println("shutting down")
+		if respSrv != nil {
+			respSrv.Close()
+		}
 		s.Close()
 	}()
 	log.Printf("qindbd: serving on %s (capacity %d MB, AOF %d MB, GC threshold %.2f)",

@@ -1,0 +1,40 @@
+// Package respfront is a fixture shaped like a protocol front end: a
+// per-connection handler encoding replies through a bufio.Writer. A
+// reply flush that fails is the only signal the peer is gone — dropping
+// it leaves the handler serving a dead connection.
+package respfront
+
+import (
+	"bufio"
+	"net"
+)
+
+type conn struct {
+	nc net.Conn
+	bw *bufio.Writer
+}
+
+// dropsFlush loses the only error that reports the peer went away.
+func dropsFlush(c *conn) {
+	c.bw.WriteString("+OK\r\n")
+	c.bw.Flush() // want `Flush error dropped on the storage write path`
+}
+
+// serveLoop flushes correctly: the error tears the connection down.
+func serveLoop(c *conn) {
+	defer c.nc.Close()
+	for {
+		c.bw.WriteString("+PONG\r\n")
+		if err := c.bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// teardown may discard the flush: the reply is best-effort on an
+// already-failed connection, and the discard is visible.
+func teardown(c *conn) {
+	c.bw.WriteString("-ERR protocol error\r\n")
+	_ = c.bw.Flush()
+	c.nc.Close() // net.Conn is a bare interface: no package identity, not flagged
+}

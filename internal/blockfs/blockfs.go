@@ -280,9 +280,24 @@ func (r *reader) ReadAt(p []byte, off int64) (int, time.Duration, error) {
 	}
 	// Snapshot the page refs and tail under the lock; device reads happen
 	// outside it so concurrent appends aren't blocked by flash latency.
+	// Only the refs and tail bytes this read touches are copied: a
+	// record-sized read against a large file must not pay for the whole
+	// file's page table on every call.
 	flushedBytes := int64(len(r.f.pages)) * int64(c.pageSize)
-	refs := append([]int32(nil), r.f.pages...)
-	tail := append([]byte(nil), r.f.tail...)
+	var refs []int32
+	var firstPage int64
+	if off < flushedBytes {
+		firstPage = off / int64(c.pageSize)
+		lastPage := (off + want - 1) / int64(c.pageSize)
+		if lastPage >= int64(len(r.f.pages)) {
+			lastPage = int64(len(r.f.pages)) - 1
+		}
+		refs = append([]int32(nil), r.f.pages[firstPage:lastPage+1]...)
+	}
+	var tail []byte
+	if off+want > flushedBytes {
+		tail = append([]byte(nil), r.f.tail...)
+	}
 	c.mu.Unlock()
 
 	var cost time.Duration
@@ -294,7 +309,7 @@ func (r *reader) ReadAt(p []byte, off int64) (int, time.Duration, error) {
 			n += copy(p[n:want], tail[cur-flushedBytes:])
 			continue
 		}
-		pageIdx := cur / int64(c.pageSize)
+		pageIdx := cur/int64(c.pageSize) - firstPage
 		inPage := int(cur % int64(c.pageSize))
 		data, oc, err := c.readPage(refs[pageIdx])
 		cost += oc

@@ -650,6 +650,15 @@ func (db *DB) Versions() []uint64 {
 	return out
 }
 
+// KeyCount reports the number of live (non-deleted) keys in version v
+// — what a keyspace summary (RESP DBSIZE, INFO Keyspace) serves without
+// walking the memtable.
+func (db *DB) KeyCount(version uint64) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.versions[version]
+}
+
 // RetainVersions drops the oldest versions until at most n remain,
 // returning how many versions were dropped. The paper retains at most
 // four versions per store (§1.1.2).

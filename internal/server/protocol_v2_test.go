@@ -346,17 +346,17 @@ func TestRangeAppliedLimit(t *testing.T) {
 	if err != nil || len(entries) != 10 {
 		t.Fatalf("Range(0) = %d entries, %v", len(entries), err)
 	}
-	if applied != s.rangeCap {
-		t.Fatalf("applied = %d, want server default %d", applied, s.rangeCap)
+	if applied != s.backend.rangeCap {
+		t.Fatalf("applied = %d, want server default %d", applied, s.backend.rangeCap)
 	}
 	if _, applied, _ = cl.RangeContext(ctx, nil, nil, 7); applied != 7 {
 		t.Fatalf("applied = %d, want 7", applied)
 	}
-	if _, applied, _ = cl.RangeContext(ctx, nil, nil, -5); applied != s.rangeCap {
+	if _, applied, _ = cl.RangeContext(ctx, nil, nil, -5); applied != s.backend.rangeCap {
 		t.Fatalf("negative limit applied = %d, want server default", applied)
 	}
-	if _, applied, _ = cl.RangeContext(ctx, nil, nil, s.rangeCap+999); applied != s.rangeCap {
-		t.Fatalf("oversized limit applied = %d, want cap %d", applied, s.rangeCap)
+	if _, applied, _ = cl.RangeContext(ctx, nil, nil, s.backend.rangeCap+999); applied != s.backend.rangeCap {
+		t.Fatalf("oversized limit applied = %d, want cap %d", applied, s.backend.rangeCap)
 	}
 }
 

@@ -34,15 +34,18 @@ type StatsReply struct {
 // hello the connection switches to pipelined mode, dispatching up to
 // MaxInFlight requests concurrently while a dedicated writer goroutine
 // serializes responses back onto the wire.
+//
+// The Server owns only the binary wire: framing, sequence numbers,
+// negotiation, response encoding. Every request executes through its
+// Backend, which alternate front doors (internal/resp) share.
 type Server struct {
-	db *core.DB
+	backend *Backend
 
-	mu       sync.Mutex
-	ln       net.Listener
-	conns    map[net.Conn]bool
-	closed   bool
-	logf     func(format string, args ...any)
-	rangeCap int
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+	logf   func(format string, args ...any)
 
 	// Tuning knobs, atomic so they may be adjusted while serving.
 	// maxInFlight and maxProto apply to connections accepted (or, for
@@ -53,12 +56,6 @@ type Server struct {
 	writeTimeout atomic.Int64 // nanoseconds; 0 disables
 	maxProto     atomic.Int32
 	noTrace      atomic.Bool // refuse the trace feature in hellos
-
-	slow    atomic.Pointer[metrics.SlowLog]
-	readSLO atomic.Pointer[metrics.SLO]
-
-	reg *metrics.Registry
-	met serverMetrics
 }
 
 // serverMetrics holds per-opcode request counters and wall-clock latency
@@ -75,34 +72,34 @@ type serverMetrics struct {
 // SetMetrics attaches a registry (exported via OpMetrics and, in qindbd,
 // HTTP). Call before Serve; nil leaves the server uninstrumented.
 func (s *Server) SetMetrics(reg *metrics.Registry) {
-	s.reg = reg
-	if reg == nil {
-		s.met = serverMetrics{}
-		return
-	}
-	for op := OpPut; op <= opMax; op++ {
-		name := opNames[op]
-		s.met.reqs[op] = reg.Counter("server.req." + name)
-		s.met.lat[op] = reg.Histogram("server.req." + name + ".latency_us")
-	}
-	s.met.badReqs = reg.Counter("server.req.bad")
-	s.met.conns = reg.Gauge("server.conns.active")
-	s.met.inflight = reg.Gauge("server.pipeline.inflight")
-	s.met.batchOps = reg.Counter("server.batch.ops")
+	s.backend.SetMetrics(reg)
 }
 
 // New wraps an engine. The caller keeps ownership of db and must close
 // it after the server stops.
 func New(db *core.DB) *Server {
+	return NewWithBackend(NewBackend(db))
+}
+
+// NewWithBackend builds a native listener over an existing Backend —
+// the sharing point for multi-protocol deployments: qindbd hands one
+// Backend to both this server and the RESP front door, so both wires
+// hit one engine with one set of metrics.
+func NewWithBackend(b *Backend) *Server {
 	s := &Server{
-		db:       db,
-		conns:    make(map[net.Conn]bool),
-		logf:     log.Printf,
-		rangeCap: 4096,
+		backend: b,
+		conns:   make(map[net.Conn]bool),
+		logf:    log.Printf,
 	}
 	s.maxInFlight.Store(defaultMaxInFlight)
 	s.maxProto.Store(MaxProto)
 	return s
+}
+
+// Backend returns the server's execution backend, shared with any
+// additional front doors.
+func (s *Server) Backend() *Backend {
+	return s.backend
 }
 
 // SetLogf replaces the server's logger (nil silences it).
@@ -158,19 +155,19 @@ func (s *Server) SetTracePropagation(enabled bool) {
 // wall-clock latency reaches the log's threshold is recorded with its
 // opcode, key prefix, and trace ID. Nil detaches. Safe at runtime.
 func (s *Server) SetSlowLog(l *metrics.SlowLog) {
-	s.slow.Store(l)
+	s.backend.SetSlowLog(l)
 }
 
 // SlowLog returns the attached slow-op log (nil when none).
 func (s *Server) SlowLog() *metrics.SlowLog {
-	return s.slow.Load()
+	return s.backend.SlowLog()
 }
 
 // SetReadSLO attaches a read-availability SLO tracker: every dispatched
 // OpGet feeds it one event — good when the get answered StatusOK, bad
 // on not-found or failure. Nil detaches. Safe at runtime.
 func (s *Server) SetReadSLO(slo *metrics.SLO) {
-	s.readSLO.Store(slo)
+	s.backend.SetReadSLO(slo)
 }
 
 // Serve accepts connections on ln until Close. It returns nil after a
@@ -261,8 +258,8 @@ func (s *Server) dropConn(c net.Conn) {
 // successful OpHello hands the connection over to the pipelined v2
 // loop.
 func (s *Server) handle(conn net.Conn) {
-	s.met.conns.Add(1)
-	defer s.met.conns.Add(-1)
+	s.backend.ConnOpened()
+	defer s.backend.ConnClosed()
 	defer s.dropConn(conn)
 	br := bufio.NewReader(conn)
 	for {
@@ -277,7 +274,7 @@ func (s *Server) handle(conn net.Conn) {
 		var resp []byte
 		switch {
 		case err != nil:
-			s.met.badReqs.Inc()
+			s.backend.met.badReqs.Inc()
 			resp = encodeResponse(StatusFailed, []byte(err.Error()))
 		case req.Op == OpHello:
 			accepted, feats, featReply := s.negotiate(req)
@@ -407,13 +404,13 @@ func (s *Server) handleV2(conn net.Conn, br *bufio.Reader, traceOK bool) {
 			req, derr = decodeRequest(body)
 		}
 		sem <- struct{}{}
-		s.met.inflight.Add(1)
+		s.backend.met.inflight.Add(1)
 		wg.Add(1)
 		go func(seq uint32, req request, sc metrics.SpanContext, derr error) {
 			defer wg.Done()
 			var resp []byte
 			if derr != nil {
-				s.met.badReqs.Inc()
+				s.backend.met.badReqs.Inc()
 				resp = encodeResponse(StatusFailed, []byte(derr.Error()))
 			} else {
 				ctx := metrics.ContextWithSpan(context.Background(), sc)
@@ -421,7 +418,7 @@ func (s *Server) handleV2(conn net.Conn, br *bufio.Reader, traceOK bool) {
 			}
 			// Decrement before queueing the response so the gauge
 			// never reads >0 after the client has seen every reply.
-			s.met.inflight.Add(-1)
+			s.backend.met.inflight.Add(-1)
 			respCh <- seqResp{seq: seq, body: resp}
 			<-sem
 		}(seq, req, sc, derr)
@@ -431,149 +428,97 @@ func (s *Server) handleV2(conn net.Conn, br *bufio.Reader, traceOK bool) {
 	<-writerDone
 }
 
-// dispatch executes one request against the engine, timing it with the
-// wall clock (the client-visible latency, unlike the engine's simulated
-// device cost). A traced request additionally gets a handler span
-// parented under the caller's, and any attached slow-op log sees every
-// request that crosses its threshold.
+// dispatch executes one request through the Backend and encodes the
+// reply onto the binary wire. The Backend owns the transport-agnostic
+// work — engine execution, wall-clock timing, per-opcode metrics, the
+// read SLO, the slowlog and the handler span — so the native and RESP
+// listeners report identically; this function owns only the v1/v2
+// response encoding.
 func (s *Server) dispatch(ctx context.Context, req request, proto int) []byte {
 	if req.Op < OpPut || req.Op > opMax || req.Op == OpHello {
-		s.met.badReqs.Inc()
+		s.backend.met.badReqs.Inc()
 		return encodeResponse(StatusFailed, []byte("unknown op"))
 	}
-	sc, traced := metrics.SpanFromContext(ctx)
-	var end func(error)
-	if traced {
-		ctx, end = s.reg.ContinueSpan(ctx, "server.req."+opNames[req.Op])
-	}
-	start := time.Now()
-	resp := s.dispatchOp(ctx, req, proto)
-	elapsed := time.Since(start)
-	s.met.reqs[req.Op].Inc()
-	s.met.lat[req.Op].Observe(float64(elapsed) / float64(time.Microsecond))
-	if req.Op == OpGet {
-		st, _, derr := decodeResponse(resp)
-		s.readSLO.Load().Record(derr == nil && st == StatusOK)
-	}
-	slow := s.slow.Load()
-	if end != nil || slow != nil {
-		var msg string
-		if st, payload, derr := decodeResponse(resp); derr == nil && st != StatusOK {
-			msg = string(payload)
-		}
-		if end != nil {
-			if msg == "" {
-				end(nil)
-			} else {
-				end(errors.New(msg))
-			}
-		}
-		slow.Maybe(opNames[req.Op], req.Key, elapsed, sc.TraceID, msg)
-	}
-	return resp
-}
-
-func (s *Server) dispatchOp(ctx context.Context, req request, proto int) []byte {
+	b := s.backend
 	switch req.Op {
 	case OpPing:
+		if err := b.Ping(ctx); err != nil {
+			return errResponse(err)
+		}
 		return encodeResponse(StatusOK, []byte("pong"))
 	case OpPut, OpPutDedup:
-		_, err := s.db.Put(req.Key, req.Version, req.Value, req.Op == OpPutDedup)
-		return statusOnly(err)
+		return statusOnly(b.Put(ctx, req.Key, req.Version, req.Value, req.Op == OpPutDedup))
 	case OpGet:
-		val, _, err := s.db.Get(req.Key, req.Version)
+		val, err := b.Get(ctx, req.Key, req.Version)
 		if err != nil {
 			return errResponse(err)
 		}
 		return encodeResponse(StatusOK, val)
 	case OpDel:
-		_, err := s.db.Del(req.Key, req.Version)
-		return statusOnly(err)
+		return statusOnly(b.Del(ctx, req.Key, req.Version))
 	case OpDropVersion:
-		_, _, err := s.db.DropVersion(req.Version)
-		return statusOnly(err)
+		return statusOnly(b.DropVersion(ctx, req.Version))
 	case OpHas:
-		if s.db.Has(req.Key, req.Version) {
+		ok, err := b.Has(ctx, req.Key, req.Version)
+		if err != nil {
+			return errResponse(err)
+		}
+		if ok {
 			return encodeResponse(StatusOK, []byte{1})
 		}
 		return encodeResponse(StatusOK, []byte{0})
 	case OpStats:
-		s.mu.Lock()
-		conns := len(s.conns)
-		s.mu.Unlock()
-		payload, err := json.Marshal(StatsReply{Engine: s.db.Stats(), Conns: conns})
+		reply, err := b.Stats(ctx)
+		if err != nil {
+			return errResponse(err)
+		}
+		payload, err := json.Marshal(reply)
 		if err != nil {
 			return errResponse(err)
 		}
 		return encodeResponse(StatusOK, payload)
 	case OpRange:
 		// Key = from, Value = exclusive upper bound, Version = limit;
-		// limit <= 0 selects the server default (rangeCap), positive
-		// limits clamp to it.
-		limit := int(int64(req.Version))
-		if limit <= 0 || limit > s.rangeCap {
-			limit = s.rangeCap
+		// limit <= 0 selects the backend default, positive limits clamp
+		// to it.
+		entries, applied, err := b.Range(ctx, req.Key, req.Value, int(int64(req.Version)))
+		if err != nil {
+			return errResponse(err)
 		}
-		var entries []RangeEntry
-		s.db.Range(req.Key, req.Value, func(key []byte, ver uint64) bool {
-			entries = append(entries, RangeEntry{Key: append([]byte(nil), key...), Version: ver})
-			return len(entries) < limit
-		})
 		if proto >= ProtoV2 {
-			return encodeResponse(StatusOK, encodeRangeReply(limit, entries))
+			return encodeResponse(StatusOK, encodeRangeReply(applied, entries))
 		}
 		return encodeResponse(StatusOK, encodeRangeEntries(entries))
 	case OpBatch:
 		return s.dispatchBatch(ctx, req)
 	case OpMetrics:
-		if s.reg == nil {
-			return encodeResponse(StatusOK, []byte("{}"))
-		}
-		payload, err := json.Marshal(s.reg)
+		payload, err := b.MetricsJSON(ctx)
 		if err != nil {
 			return errResponse(err)
 		}
 		return encodeResponse(StatusOK, payload)
-	default:
-		return encodeResponse(StatusFailed, []byte("unknown op"))
 	}
+	return encodeResponse(StatusFailed, []byte("unknown op"))
 }
 
-// dispatchBatch applies the sub-ops of one OpBatch frame in one pass.
-// Sub-op failures are reported individually; the frame itself succeeds
-// unless it is malformed. Inside a trace each sub-op records its own
-// "server.batch.<op>" span parented under the batch handler's span, so
-// the publish timeline shows the engine writes, not just the frame.
+// dispatchBatch decodes one OpBatch frame and applies it through the
+// Backend with native semantics: sub-op failures are reported
+// individually; the frame itself succeeds unless it is malformed.
 func (s *Server) dispatchBatch(ctx context.Context, req request) []byte {
-	ops, err := decodeBatch(req.Value, int(req.Version))
+	subs, err := decodeBatch(req.Value, int(req.Version))
 	if err != nil {
-		s.met.badReqs.Inc()
+		s.backend.met.badReqs.Inc()
 		return encodeResponse(StatusFailed, []byte(err.Error()))
 	}
-	_, traced := metrics.SpanFromContext(ctx)
-	statuses := make([]subStatus, len(ops))
-	for i, op := range ops {
-		var err error
-		var endSub func(error)
-		if traced && int(op.Op) < len(opNames) {
-			_, endSub = s.reg.ContinueSpan(ctx, "server.batch."+opNames[op.Op])
-		}
-		switch op.Op {
-		case OpPut, OpPutDedup:
-			_, err = s.db.Put(op.Key, op.Version, op.Value, op.Op == OpPutDedup)
-		case OpDel:
-			_, err = s.db.Del(op.Key, op.Version)
-		case OpDropVersion:
-			_, _, err = s.db.DropVersion(op.Version)
-		default:
-			err = errors.New("op not batchable")
-		}
-		if endSub != nil {
-			endSub(err)
-		}
-		statuses[i] = subStatusOf(err)
+	ops := make([]BatchOp, len(subs))
+	for i, sub := range subs {
+		ops[i] = BatchOp{Op: sub.Op, Version: sub.Version, Key: sub.Key, Value: sub.Value}
 	}
-	s.met.batchOps.Add(int64(len(ops)))
+	results := s.backend.Batch(ctx, ops)
+	statuses := make([]subStatus, len(results))
+	for i, r := range results {
+		statuses[i] = subStatusOf(r.Err)
+	}
 	return encodeResponse(StatusOK, encodeBatchReply(statuses))
 }
 

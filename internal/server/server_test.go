@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -65,36 +66,38 @@ func startServerReg(t *testing.T, reg *metrics.Registry) (*Server, *Client) {
 
 func TestPingPutGetDel(t *testing.T) {
 	_, cl := startServer(t)
-	if err := cl.Ping(); err != nil {
+	ctx := context.Background()
+	if err := cl.PingContext(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Put([]byte("k"), 1, []byte("hello"), false); err != nil {
+	if err := cl.PutContext(ctx, []byte("k"), 1, []byte("hello"), false); err != nil {
 		t.Fatal(err)
 	}
-	val, err := cl.Get([]byte("k"), 1)
+	val, err := cl.GetContext(ctx, []byte("k"), 1)
 	if err != nil || string(val) != "hello" {
 		t.Fatalf("Get = %q, %v", val, err)
 	}
-	if err := cl.Del([]byte("k"), 1); err != nil {
+	if err := cl.DelContext(ctx, []byte("k"), 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Get([]byte("k"), 1); !errors.Is(err, ErrDeleted) {
+	if _, err := cl.GetContext(ctx, []byte("k"), 1); !errors.Is(err, ErrDeleted) {
 		t.Fatalf("Get after Del err = %v", err)
 	}
-	if _, err := cl.Get([]byte("missing"), 1); !errors.Is(err, ErrNotFound) {
+	if _, err := cl.GetContext(ctx, []byte("missing"), 1); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get missing err = %v", err)
 	}
 }
 
 func TestDedupOverWire(t *testing.T) {
 	_, cl := startServer(t)
-	if err := cl.Put([]byte("k"), 1, []byte("base"), false); err != nil {
+	ctx := context.Background()
+	if err := cl.PutContext(ctx, []byte("k"), 1, []byte("base"), false); err != nil {
 		t.Fatal(err)
 	}
-	if err := cl.Put([]byte("k"), 2, nil, true); err != nil {
+	if err := cl.PutContext(ctx, []byte("k"), 2, nil, true); err != nil {
 		t.Fatal(err)
 	}
-	val, err := cl.Get([]byte("k"), 2)
+	val, err := cl.GetContext(ctx, []byte("k"), 2)
 	if err != nil || string(val) != "base" {
 		t.Fatalf("dedup Get = %q, %v", val, err)
 	}
@@ -102,29 +105,31 @@ func TestDedupOverWire(t *testing.T) {
 
 func TestHasAndDropVersion(t *testing.T) {
 	_, cl := startServer(t)
-	cl.Put([]byte("a"), 1, []byte("v"), false)
-	cl.Put([]byte("a"), 2, []byte("v"), false)
-	ok, err := cl.Has([]byte("a"), 1)
+	ctx := context.Background()
+	cl.PutContext(ctx, []byte("a"), 1, []byte("v"), false)
+	cl.PutContext(ctx, []byte("a"), 2, []byte("v"), false)
+	ok, err := cl.HasContext(ctx, []byte("a"), 1)
 	if err != nil || !ok {
 		t.Fatalf("Has = %v, %v", ok, err)
 	}
-	if err := cl.DropVersion(1); err != nil {
+	if err := cl.DropVersionContext(ctx, 1); err != nil {
 		t.Fatal(err)
 	}
-	if ok, _ := cl.Has([]byte("a"), 1); ok {
+	if ok, _ := cl.HasContext(ctx, []byte("a"), 1); ok {
 		t.Fatal("Has should be false after DropVersion")
 	}
-	if ok, _ := cl.Has([]byte("a"), 2); !ok {
+	if ok, _ := cl.HasContext(ctx, []byte("a"), 2); !ok {
 		t.Fatal("v2 should survive")
 	}
 }
 
 func TestRangeOverWire(t *testing.T) {
 	_, cl := startServer(t)
+	ctx := context.Background()
 	for i := 0; i < 10; i++ {
-		cl.Put([]byte(fmt.Sprintf("key-%02d", i)), 1, []byte("v"), false)
+		cl.PutContext(ctx, []byte(fmt.Sprintf("key-%02d", i)), 1, []byte("v"), false)
 	}
-	entries, err := cl.Range([]byte("key-02"), []byte("key-07"), 0)
+	entries, _, err := cl.RangeContext(ctx, []byte("key-02"), []byte("key-07"), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +140,7 @@ func TestRangeOverWire(t *testing.T) {
 		t.Fatalf("first entry = %+v", entries[0])
 	}
 	// Limit applies.
-	entries, err = cl.Range(nil, nil, 3)
+	entries, _, err = cl.RangeContext(ctx, nil, nil, 3)
 	if err != nil || len(entries) != 3 {
 		t.Fatalf("limited Range = %d, %v", len(entries), err)
 	}
@@ -143,8 +148,9 @@ func TestRangeOverWire(t *testing.T) {
 
 func TestStatsOverWire(t *testing.T) {
 	_, cl := startServer(t)
-	cl.Put([]byte("k"), 1, bytes.Repeat([]byte{1}, 1000), false)
-	st, err := cl.Stats()
+	ctx := context.Background()
+	cl.PutContext(ctx, []byte("k"), 1, bytes.Repeat([]byte{1}, 1000), false)
+	st, err := cl.StatsContext(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +164,12 @@ func TestStatsOverWire(t *testing.T) {
 
 func TestLargeValue(t *testing.T) {
 	_, cl := startServer(t)
+	ctx := context.Background()
 	val := bytes.Repeat([]byte{0xAB}, 2<<20)
-	if err := cl.Put([]byte("big"), 1, val, false); err != nil {
+	if err := cl.PutContext(ctx, []byte("big"), 1, val, false); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.Get([]byte("big"), 1)
+	got, err := cl.GetContext(ctx, []byte("big"), 1)
 	if err != nil || !bytes.Equal(got, val) {
 		t.Fatalf("large round-trip failed: %d bytes, %v", len(got), err)
 	}
@@ -170,6 +177,7 @@ func TestLargeValue(t *testing.T) {
 
 func TestConcurrentClients(t *testing.T) {
 	s, _ := startServer(t)
+	ctx := context.Background()
 	addr := s.Addr().String()
 	var wg sync.WaitGroup
 	errCh := make(chan error, 8)
@@ -185,11 +193,11 @@ func TestConcurrentClients(t *testing.T) {
 			defer cl.Close()
 			for i := 0; i < 100; i++ {
 				key := []byte(fmt.Sprintf("c%d-k%03d", c, i))
-				if err := cl.Put(key, 1, key, false); err != nil {
+				if err := cl.PutContext(ctx, key, 1, key, false); err != nil {
 					errCh <- err
 					return
 				}
-				got, err := cl.Get(key, 1)
+				got, err := cl.GetContext(ctx, key, 1)
 				if err != nil || !bytes.Equal(got, key) {
 					errCh <- fmt.Errorf("round-trip %s: %v", key, err)
 					return
@@ -285,18 +293,19 @@ func TestQuickProtocolRoundTrip(t *testing.T) {
 func TestOpMetricsRoundTrip(t *testing.T) {
 	reg := metrics.NewRegistry()
 	_, cl := startServerReg(t, reg)
+	ctx := context.Background()
 
 	for i := 0; i < 10; i++ {
 		key := []byte(fmt.Sprintf("mk-%02d", i))
-		if err := cl.Put(key, 1, []byte("payload"), false); err != nil {
+		if err := cl.PutContext(ctx, key, 1, []byte("payload"), false); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := cl.Get([]byte("mk-00"), 1); err != nil {
+	if _, err := cl.GetContext(ctx, []byte("mk-00"), 1); err != nil {
 		t.Fatal(err)
 	}
 
-	m, err := cl.Metrics()
+	m, err := cl.MetricsContext(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +342,8 @@ func TestOpMetricsRoundTrip(t *testing.T) {
 
 func TestOpMetricsUninstrumented(t *testing.T) {
 	_, cl := startServer(t)
-	m, err := cl.Metrics()
+	ctx := context.Background()
+	m, err := cl.MetricsContext(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
