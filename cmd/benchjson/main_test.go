@@ -1,0 +1,198 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `
+goos: linux
+goarch: amd64
+BenchmarkPut20KB-8         	      50	     33544 ns/op	   20560 B/op	      10 allocs/op
+BenchmarkGet20KB-8         	      50	     12000 ns/op	   20608 B/op	       4 allocs/op
+BenchmarkRESPPipelined-8   	   20000	      1500 ns/op	     120 B/op	       3 allocs/op	  666666 ops/s
+PASS
+ok  	directload/internal/core	2.1s
+`
+
+func parseSample(t *testing.T, text string) map[string]*result {
+	t.Helper()
+	results, order, err := parseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(order) {
+		t.Fatalf("results %d vs order %d", len(results), len(order))
+	}
+	return results
+}
+
+func TestParseBench(t *testing.T) {
+	results := parseSample(t, sampleBench)
+	if len(results) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(results))
+	}
+	put := results["Put20KB"]
+	if put == nil || put.NsPerOp != 33544 || put.Iterations != 50 {
+		t.Fatalf("Put20KB = %+v", put)
+	}
+	if put.AllocsPerOp == nil || *put.AllocsPerOp != 10 {
+		t.Fatalf("Put20KB allocs = %+v", put.AllocsPerOp)
+	}
+	if resp := results["RESPPipelined"]; len(resp.Extra) != 1 || resp.Extra[0] != "666666 ops/s" {
+		t.Fatalf("custom unit not carried: %+v", resp.Extra)
+	}
+}
+
+func TestParseBenchMinOfRepeats(t *testing.T) {
+	results := parseSample(t, `
+BenchmarkPut20KB-8   	      50	     40000 ns/op	   20560 B/op	      12 allocs/op
+BenchmarkPut20KB-8   	      50	     33000 ns/op	   20560 B/op	      10 allocs/op
+BenchmarkPut20KB-8   	      50	     39000 ns/op	   20560 B/op	      11 allocs/op
+`)
+	put := results["Put20KB"]
+	if put.NsPerOp != 33000 {
+		t.Fatalf("ns/op = %v, want the fastest of the -count repeats (33000)", put.NsPerOp)
+	}
+	if put.AllocsPerOp == nil || *put.AllocsPerOp != 10 {
+		t.Fatalf("allocs/op = %+v, want the fastest repeat's 10", put.AllocsPerOp)
+	}
+}
+
+// mutate returns a copy of the baseline with one benchmark's figures
+// scaled — the synthetic regression injector for the gate tests.
+func mutate(t *testing.T, name string, nsScale, allocScale float64) (baseline, current map[string]*result) {
+	t.Helper()
+	baseline = parseSample(t, sampleBench)
+	current = parseSample(t, sampleBench)
+	r := current[name]
+	if r == nil {
+		t.Fatalf("no benchmark %q in sample", name)
+	}
+	r.NsPerOp *= nsScale
+	if r.AllocsPerOp != nil {
+		a := *r.AllocsPerOp * allocScale
+		r.AllocsPerOp = &a
+	}
+	return baseline, current
+}
+
+func TestCompareCleanTreePasses(t *testing.T) {
+	baseline, current := mutate(t, "Put20KB", 1.0, 1.0)
+	var out strings.Builder
+	if fails := compareResults(&out, baseline, current, nil, 0.15, 0.10, false); len(fails) != 0 {
+		t.Fatalf("identical results failed the gate: %v\n%s", fails, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("no ok lines:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnDoubledAllocs(t *testing.T) {
+	// The acceptance scenario: a synthetic 2x allocs/op regression on one
+	// benchmark must fail the gate even with ns/op unchanged.
+	baseline, current := mutate(t, "Put20KB", 1.0, 2.0)
+	var out strings.Builder
+	fails := compareResults(&out, baseline, current, nil, 0.15, 0.10, false)
+	if len(fails) != 1 || fails[0] != "Put20KB" {
+		t.Fatalf("fails = %v, want [Put20KB]\n%s", fails, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("missing REGRESSED marker:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnSlowdown(t *testing.T) {
+	baseline, current := mutate(t, "Get20KB", 1.30, 1.0) // +30% ns/op > 15% slack
+	var out strings.Builder
+	if fails := compareResults(&out, baseline, current, nil, 0.15, 0.10, false); len(fails) != 1 {
+		t.Fatalf("fails = %v, want exactly Get20KB\n%s", fails, out.String())
+	}
+}
+
+func TestCompareWithinSlackPasses(t *testing.T) {
+	baseline, current := mutate(t, "Get20KB", 1.10, 1.05) // under both thresholds
+	var out strings.Builder
+	if fails := compareResults(&out, baseline, current, nil, 0.15, 0.10, false); len(fails) != 0 {
+		t.Fatalf("within-slack drift failed the gate: %v\n%s", fails, out.String())
+	}
+}
+
+func TestCompareAllowlist(t *testing.T) {
+	baseline, current := mutate(t, "Put20KB", 2.0, 2.0)
+	var out strings.Builder
+	fails := compareResults(&out, baseline, current, map[string]bool{"Put20KB": true}, 0.15, 0.10, false)
+	if len(fails) != 0 {
+		t.Fatalf("allowlisted regression still failed the gate: %v", fails)
+	}
+	if !strings.Contains(out.String(), "allowed") {
+		t.Fatalf("allowlisted regression not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareDisjointSetsNotFatal(t *testing.T) {
+	baseline, current := mutate(t, "Put20KB", 1.0, 1.0)
+	delete(baseline, "Put20KB")      // new benchmark: no baseline yet
+	delete(current, "RESPPipelined") // baseline covers a suite this run skipped
+	var out strings.Builder
+	if fails := compareResults(&out, baseline, current, nil, 0.15, 0.10, false); len(fails) != 0 {
+		t.Fatalf("disjoint sets failed the gate: %v\n%s", fails, out.String())
+	}
+	if !strings.Contains(out.String(), "no baseline") || !strings.Contains(out.String(), "only in baseline") {
+		t.Fatalf("missing one-sided markers:\n%s", out.String())
+	}
+}
+
+func TestCompareSlackWidensToRepeatSpread(t *testing.T) {
+	// Noisy machine: this run's own repeats of Put20KB disagree by 60%,
+	// so a +30% delta over baseline is not distinguishable from jitter.
+	baseline := parseSample(t, sampleBench)
+	current := parseSample(t, `
+BenchmarkPut20KB-8   	      50	     43600 ns/op	   20560 B/op	      10 allocs/op
+BenchmarkPut20KB-8   	      50	     69000 ns/op	   20560 B/op	      10 allocs/op
+`)
+	if spread := current["Put20KB"].nsSpread; spread < 0.55 || spread > 0.65 {
+		t.Fatalf("nsSpread = %v, want ~0.58", spread)
+	}
+	var out strings.Builder
+	if fails := compareResults(&out, baseline, current, nil, 0.15, 0.10, false); len(fails) != 0 {
+		t.Fatalf("within-spread drift failed the gate: %v\n%s", fails, out.String())
+	}
+	if !strings.Contains(out.String(), "within repeat spread") {
+		t.Fatalf("widened slack not reported:\n%s", out.String())
+	}
+
+	// Quiet machine, same +30% delta: tight repeats, so the 15% gate holds.
+	current = parseSample(t, `
+BenchmarkPut20KB-8   	      50	     43600 ns/op	   20560 B/op	      10 allocs/op
+BenchmarkPut20KB-8   	      50	     44100 ns/op	   20560 B/op	      10 allocs/op
+`)
+	out.Reset()
+	if fails := compareResults(&out, baseline, current, nil, 0.15, 0.10, false); len(fails) != 1 {
+		t.Fatalf("tight-spread regression passed the gate: %v\n%s", fails, out.String())
+	}
+}
+
+func TestCompareSpreadNeverWidensAllocGate(t *testing.T) {
+	// The alloc gate is deterministic and must fail a 2x regression no
+	// matter how noisy the wall clock was.
+	baseline := parseSample(t, sampleBench)
+	current := parseSample(t, `
+BenchmarkPut20KB-8   	      50	     33000 ns/op	   20560 B/op	      20 allocs/op
+BenchmarkPut20KB-8   	      50	     66000 ns/op	   20560 B/op	      20 allocs/op
+`)
+	var out strings.Builder
+	fails := compareResults(&out, baseline, current, nil, 0.15, 0.10, false)
+	if len(fails) != 1 || fails[0] != "Put20KB" {
+		t.Fatalf("doubled allocs passed on a noisy machine: %v\n%s", fails, out.String())
+	}
+}
+
+func TestCompareCIAnnotation(t *testing.T) {
+	baseline, current := mutate(t, "Put20KB", 1.0, 2.0)
+	var out strings.Builder
+	compareResults(&out, baseline, current, nil, 0.15, 0.10, true)
+	if !strings.Contains(out.String(), "::warning::benchmark Put20KB") {
+		t.Fatalf("missing GitHub annotation:\n%s", out.String())
+	}
+}

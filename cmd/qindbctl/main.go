@@ -13,19 +13,22 @@
 //	qindbctl trace -nodes 'h1:8080,h2:8080' <trace-id>          # fleet-wide merged timeline
 //	qindbctl -http 127.0.0.1:8080 slowlog [-n 20] [-op get] [-trace id]
 //	qindbctl -http 127.0.0.1:8080 events [-since N] [-n 20] [-follow]
+//	qindbctl profile -nodes 'a,b,c' [-type heap] [-seconds 5] [-out dir]  # fleet-wide pprof capture
 //	qindbctl fleet -nodes 'a,b,c' <put|get|drop|load|where|status|record>  # shard router over several nodes
 //
 // -timeout bounds each operation (and the dial); load streams stdin
 // into OpBatch frames, one round trip per batch instead of per record.
-// trace, slowlog and events talk to the daemon's operator HTTP address
-// (qindbd -metrics-addr) instead of the storage port; trace -nodes
-// fetches the same trace id from every listed operator address and
-// merges the spans into one cross-node timeline. events -follow long
-// polls so new events stream as they happen. fleet ignores -addr and
-// routes to its -nodes with rendezvous placement, quorum writes and
-// hedged reads (see internal/fleet); fleet record appends periodic
-// {ts, slo, throughput, p99, events} JSONL snapshots while driving
-// canary reads.
+// trace, slowlog, events and profile talk to the daemon's operator HTTP
+// address (qindbd -metrics-addr) instead of the storage port; trace
+// -nodes fetches the same trace id from every listed operator address
+// and merges the spans into one cross-node timeline. events -follow
+// long polls so new events stream as they happen. profile captures one
+// windowed pprof delta per node in parallel (heap, allocs, goroutine or
+// cpu; the daemon must run with -pprof) and writes
+// <node>.<type>.pprof files into -out. fleet ignores -addr and routes
+// to its -nodes with rendezvous placement, quorum writes and hedged
+// reads (see internal/fleet); fleet record appends periodic {ts, slo,
+// throughput, p99, events} JSONL snapshots while driving canary reads.
 package main
 
 import (
@@ -56,10 +59,12 @@ var (
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: qindbctl [-addr host:port] [-timeout 5s] <put|putd|get|del|drop|range|load|stats|metrics|ping|trace|slowlog|events|fleet> [args]")
 	fmt.Fprintln(os.Stderr, "       load <version>                  batched load of key<TAB>value lines from stdin")
-	fmt.Fprintln(os.Stderr, "       stats [-watch] [-interval 1s]   engine stats, or live metric deltas")
+	fmt.Fprintln(os.Stderr, "       stats [-watch] [-interval 1s]   engine stats, or live metric deltas; -watch adds a")
+	fmt.Fprintln(os.Stderr, "                                       runtime line (heap-live, gc-pause-p99, goroutines)")
 	fmt.Fprintln(os.Stderr, "       trace [-nodes a,b] <trace-id>   one trace's timeline; -nodes merges spans fleet-wide")
 	fmt.Fprintln(os.Stderr, "       slowlog [-n N] [-op get] [-trace id]  recent slow operations (-http address)")
 	fmt.Fprintln(os.Stderr, "       events [-since N] [-n N] [-follow]    structured event log (-http address)")
+	fmt.Fprintln(os.Stderr, "       profile [-nodes a,b] [-type heap] [-seconds 5] [-out dir]  pprof delta per node")
 	fmt.Fprintln(os.Stderr, "       fleet -nodes 'a,b,c' <cmd>      shard router over several nodes (fleet -h)")
 	os.Exit(2)
 }
@@ -108,6 +113,36 @@ func collectTrace(endpoints []string, id uint64) {
 	}
 	if _, err := merged.WriteTimeline(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// captureProfiles fetches one windowed pprof delta from every listed
+// operator endpoint in parallel and writes the files into dir, printing
+// one result line per node. Exits non-zero when any node failed.
+func captureProfiles(endpoints []string, typ string, seconds int, dir string) {
+	pc := &metrics.ProfileCapture{
+		Endpoints: endpoints,
+		Type:      typ,
+		Seconds:   seconds,
+		// The capture blocks server-side for the delta window; give the
+		// client the window plus the usual per-operation budget.
+		Client: &http.Client{Timeout: time.Duration(seconds)*time.Second + *timeout + 10*time.Second},
+	}
+	results, err := pc.CaptureTo(context.Background(), dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failed := 0
+	for _, r := range results {
+		if r.Err != "" {
+			failed++
+			fmt.Fprintf(os.Stderr, "%s: %s\n", r.Endpoint, r.Err)
+			continue
+		}
+		fmt.Printf("%s -> %s (%d bytes)\n", r.Endpoint, r.Path, r.Bytes)
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }
 
@@ -213,6 +248,22 @@ func main() {
 			return
 		}
 		fetchHTTP(fmt.Sprintf("/events?since=%d&n=%d", *since, *n))
+		return
+	case "profile":
+		fs := flag.NewFlagSet("profile", flag.ExitOnError)
+		nodes := fs.String("nodes", "", "comma-separated operator HTTP addresses; capture from every one in parallel (default: the -http address)")
+		typ := fs.String("type", "heap", "profile type: heap, allocs, goroutine or cpu")
+		seconds := fs.Int("seconds", 5, "delta window in seconds (0 = absolute snapshot; cpu always samples a window)")
+		out := fs.String("out", ".", "directory to write <node>.<type>.pprof files into")
+		fs.Parse(args)
+		if fs.NArg() != 0 {
+			usage()
+		}
+		endpoints := splitList(*nodes)
+		if len(endpoints) == 0 {
+			endpoints = []string{*httpAddr}
+		}
+		captureProfiles(endpoints, *typ, *seconds, *out)
 		return
 	case "fleet":
 		// The router dials its own nodes; -addr is not involved.
@@ -414,9 +465,26 @@ func flattenWatch(m map[string]any) []watchRow {
 	return out
 }
 
+// runtimeSummary condenses the runtime sampler's gauges into one line
+// for the -watch header: live heap, GC pause p99 and goroutine count.
+// Returns "" when the server predates the runtime sampler (none of the
+// gauges are present).
+func runtimeSummary(m map[string]any) string {
+	heap, okHeap := m["runtime.heap.live_bytes"].(float64)
+	pause, okPause := m["runtime.gc.pause_p99_us"].(float64)
+	gor, okGor := m["runtime.goroutines"].(float64)
+	if !okHeap && !okPause && !okGor {
+		return ""
+	}
+	return fmt.Sprintf("runtime: heap-live %.1f MiB   gc-pause-p99 %.0f us   goroutines %.0f",
+		heap/(1<<20), pause, gor)
+}
+
 // watchStats polls the server's metrics and renders per-interval deltas,
 // top-like, until the process is interrupted. Histogram rows show their
-// count plus a live p99 column.
+// count plus a live p99 column; a runtime summary line (heap-live,
+// gc-pause-p99, goroutines) rides under the timestamp header when the
+// server exports the runtime gauges.
 func watchStats(ctx context.Context, cl *server.Client, interval time.Duration) {
 	if interval <= 0 {
 		interval = time.Second
@@ -434,6 +502,9 @@ func watchStats(ctx context.Context, cl *server.Client, interval time.Duration) 
 		}
 		fmt.Printf("--- %-44s %14s %12s %12s ---\n",
 			time.Now().Format("15:04:05"), "value", "delta", "p99")
+		if s := runtimeSummary(m); s != "" {
+			fmt.Println(s)
+		}
 		for _, row := range rows {
 			delta := ""
 			if d := row.value - prev[row.name]; !first && d != 0 {

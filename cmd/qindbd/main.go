@@ -28,10 +28,16 @@
 // With -metrics-addr set the daemon exposes the operator endpoints of
 // internal/ops: /metrics (text, ?format=json, ?format=prom), /slo,
 // /events, /healthz, /readyz, /debug/trace, /debug/trace/export,
-// /debug/slowlog, and (with -pprof) the runtime profiler under
-// /debug/pprof/. With -record set it appends one JSONL snapshot of
-// {slo, throughput, p99, events} per -record-interval to the given
-// file — the artifact a chaos run or canary deploy is judged against.
+// /debug/slowlog, /debug/attrib (per-op resource attribution, see
+// -attr-sample), and (with -pprof) the runtime profiler under
+// /debug/pprof/ plus windowed delta captures at /debug/profile. Go
+// runtime telemetry (heap, GC, goroutines) is sampled every
+// -runtime-interval and exported as runtime.* gauges. With -record set
+// it appends one JSONL snapshot of {slo, throughput, p99, runtime,
+// events} per -record-interval to the given file — the artifact a
+// chaos run or canary deploy is judged against. With -profile-on-burn
+// set, an SLO burn crossing triggers one bounded heap+cpu profile
+// capture into the given directory (10-minute cooldown).
 package main
 
 import (
@@ -75,6 +81,9 @@ var (
 	eventsCap     = flag.Int("events-cap", 0, "structured events retained for /events (0 = default 1024)")
 	recordPath    = flag.String("record", "", "append periodic {ts, slo, throughput, p99} JSONL snapshots to this file (empty = off)")
 	recordEvery   = flag.Duration("record-interval", time.Second, "snapshot cadence for -record")
+	attrSample    = flag.Int("attr-sample", 64, "measure one request in N for per-op resource attribution on /debug/attrib (0 = off)")
+	runtimeEvery  = flag.Duration("runtime-interval", time.Second, "Go runtime telemetry sampling cadence for the runtime.* gauges (0 = off)")
+	profileOnBurn = flag.String("profile-on-burn", "", "capture heap+cpu profiles into this directory when the read SLO starts burning (empty = off)")
 )
 
 // readiness builds the /readyz check: the engine must be open, the AOF
@@ -130,6 +139,18 @@ func main() {
 	s.SetMetrics(reg)
 	s.SetSlowLog(slow)
 	s.SetReadSLO(readSLO)
+	if *attrSample > 0 {
+		// Sampled per-op resource attribution across every front door,
+		// served at /debug/attrib on the metrics address.
+		s.SetAttribution(*attrSample)
+	}
+	var runtimeSampler *metrics.RuntimeSampler
+	if *runtimeEvery > 0 {
+		runtimeSampler = metrics.NewRuntimeSampler(metrics.RuntimeSamplerConfig{Interval: *runtimeEvery})
+		runtimeSampler.Register(reg)
+		runtimeSampler.Start()
+		defer runtimeSampler.Close()
+	}
 	if *maxInFlight > 0 {
 		s.SetMaxInFlight(*maxInFlight)
 	}
@@ -162,6 +183,7 @@ func main() {
 			Events:      events,
 			Ready:       readiness(db, *memHighWater),
 			EnablePprof: *pprofOn,
+			Attrib:      s.Backend().Attribution,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -179,6 +201,7 @@ func main() {
 			Events:           events,
 			RateCounters:     []string{"server.req.get", "server.req.put", "server.req.putd", "server.req.batch"},
 			LatencyHistogram: "server.req.get.latency_us",
+			Runtime:          runtimeSampler,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -186,6 +209,18 @@ func main() {
 		recorder.Start()
 		defer recorder.Close()
 		log.Printf("qindbd: recording time series to %s every %s", *recordPath, *recordEvery)
+	}
+	var burnProf *metrics.BurnProfiler
+	if *profileOnBurn != "" {
+		burnProf = metrics.NewBurnProfiler(metrics.BurnProfilerConfig{
+			Events: events,
+			Dir:    *profileOnBurn,
+			Types:  []string{"heap", "cpu"},
+			Logf:   log.Printf,
+		})
+		burnProf.Start()
+		defer burnProf.Close()
+		log.Printf("qindbd: will capture profiles to %s on SLO burn", *profileOnBurn)
 	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -7,9 +7,9 @@
 //
 //  1. Inside the metrics package, an exported pointer-receiver method
 //     on a guarded type (Registry, SlowLog, Tracer, Counter, Gauge,
-//     Histogram) that touches a receiver field must open with an
-//     `if recv == nil` guard. Methods that only call other (guarded)
-//     methods are exempt.
+//     Histogram, RuntimeSampler, AttribTable, BurnProfiler, ...) that
+//     touches a receiver field must open with an `if recv == nil`
+//     guard. Methods that only call other (guarded) methods are exempt.
 //  2. Everywhere, guarded types must be held by pointer: a struct
 //     field, variable or parameter declared with the bare value type
 //     copies the embedded lock and breaks the nil contract.
@@ -36,14 +36,17 @@ var Analyzer = &analysis.Analyzer{
 // guardedTypes are the metrics types whose exported methods promise
 // nil-receiver safety.
 var guardedTypes = map[string]bool{
-	"Registry":  true,
-	"SlowLog":   true,
-	"Tracer":    true,
-	"Counter":   true,
-	"Gauge":     true,
-	"Histogram": true,
-	"SLO":       true,
-	"EventLog":  true,
+	"Registry":       true,
+	"SlowLog":        true,
+	"Tracer":         true,
+	"Counter":        true,
+	"Gauge":          true,
+	"Histogram":      true,
+	"SLO":            true,
+	"EventLog":       true,
+	"RuntimeSampler": true,
+	"AttribTable":    true,
+	"BurnProfiler":   true,
 }
 
 // isGuardedNamed reports whether t (sans pointer) is one of the

@@ -68,6 +68,61 @@ func (c Counter) Value() int64 {
 	return c.n
 }
 
+// RuntimeSampler stands in for the continuous-profiling sampler: same
+// nil-receiver contract as the older handle types.
+type RuntimeSampler struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (s *RuntimeSampler) Count() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Last misses the guard.
+func (s *RuntimeSampler) Last() int { // want `exported method RuntimeSampler.Last dereferences its receiver without a leading nil guard`
+	return s.count
+}
+
+// AttribTable stands in for the per-op resource attribution table.
+type AttribTable struct {
+	every int64
+}
+
+func (t *AttribTable) SampleEvery() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}
+
+// Reset misses the guard.
+func (t *AttribTable) Reset() { // want `exported method AttribTable.Reset dereferences its receiver without a leading nil guard`
+	t.every = 0
+}
+
+// BurnProfiler stands in for the SLO-burn profile trigger.
+type BurnProfiler struct {
+	captures int
+}
+
+func (p *BurnProfiler) Captures() int {
+	if p == nil {
+		return 0
+	}
+	return p.captures
+}
+
+// CaptureNow misses the guard.
+func (p *BurnProfiler) CaptureNow() { // want `exported method BurnProfiler.CaptureNow dereferences its receiver without a leading nil guard`
+	p.captures++
+}
+
 // pool holds a Counter by value inside the declaring package, which is
 // allowed (rule 2 exempts the package that owns the type).
 type pool struct {

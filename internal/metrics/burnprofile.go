@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// BurnProfilerConfig shapes a BurnProfiler.
+type BurnProfilerConfig struct {
+	// Events is the log watched for EventSLOBurn crossings.
+	Events *EventLog
+	// Dir receives the captured profiles.
+	Dir string
+	// Types are the profiles captured per burn (default heap).
+	// Supported: heap, allocs, goroutine, cpu.
+	Types []string
+	// Seconds bounds the cpu capture window (default 5).
+	Seconds int
+	// Cooldown is the minimum gap between captures (default 10 m), so a
+	// flapping SLO cannot turn the profiler into its own overload.
+	Cooldown time.Duration
+	// Logf, when non-nil, reports capture outcomes (e.g. log.Printf).
+	Logf func(format string, args ...any)
+	// Now overrides the clock (tests). Defaults to time.Now.
+	Now func() time.Time
+}
+
+// BurnProfiler watches the event log and captures one bounded set of
+// in-process profiles when the SLO starts burning — the "what was the
+// process doing when it went bad" artifact, taken automatically at the
+// moment it matters instead of minutes later by a paged operator.
+type BurnProfiler struct {
+	cfg    BurnProfilerConfig
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	lastCap  time.Time
+	captures int64
+
+	done     chan struct{}
+	startOne sync.Once
+	closeOne sync.Once
+}
+
+// NewBurnProfiler builds a profiler for cfg, filling defaults.
+func NewBurnProfiler(cfg BurnProfilerConfig) *BurnProfiler {
+	if len(cfg.Types) == 0 {
+		cfg.Types = []string{"heap"}
+	}
+	if cfg.Seconds <= 0 {
+		cfg.Seconds = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 10 * time.Minute
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &BurnProfiler{cfg: cfg, done: make(chan struct{})}
+}
+
+// Start launches the watch goroutine. Safe to call once; further calls
+// are no-ops. No-op when no event log is configured.
+func (p *BurnProfiler) Start() {
+	if p == nil || p.cfg.Events == nil {
+		return
+	}
+	p.startOne.Do(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		p.cancel = cancel
+		// Snapshot the cursor before launching, so an event emitted the
+		// instant Start returns is never missed.
+		go p.loop(ctx, p.cfg.Events.LastSeq())
+	})
+}
+
+func (p *BurnProfiler) loop(ctx context.Context, since uint64) {
+	defer close(p.done)
+	for {
+		evs := p.cfg.Events.Wait(ctx, since)
+		if evs == nil { // ctx canceled
+			return
+		}
+		burn := false
+		for _, e := range evs {
+			since = e.Seq
+			if e.Type == EventSLOBurn {
+				burn = true
+			}
+		}
+		if burn {
+			p.CaptureNow("slo.burn")
+		}
+	}
+}
+
+// CaptureNow captures the configured profile set immediately, subject
+// to the cooldown. Returns the written paths (nil when skipped).
+func (p *BurnProfiler) CaptureNow(reason string) []string {
+	if p == nil {
+		return nil
+	}
+	now := p.cfg.Now()
+	p.mu.Lock()
+	if !p.lastCap.IsZero() && now.Sub(p.lastCap) < p.cfg.Cooldown {
+		p.mu.Unlock()
+		return nil
+	}
+	p.lastCap = now
+	p.captures++
+	p.mu.Unlock()
+
+	// File and profile I/O run outside the lock: a cpu capture blocks
+	// for the full window.
+	if err := os.MkdirAll(p.cfg.Dir, 0o755); err != nil {
+		p.logf("burn profiler: %v", err)
+		return nil
+	}
+	stamp := now.UTC().Format("20060102T150405")
+	var paths []string
+	for _, typ := range p.cfg.Types {
+		path := filepath.Join(p.cfg.Dir, fmt.Sprintf("burn-%s-%s.pprof", stamp, typ))
+		if err := captureProfile(typ, p.cfg.Seconds, path); err != nil {
+			p.logf("burn profiler: %s: %v", typ, err)
+			continue
+		}
+		paths = append(paths, path)
+	}
+	if len(paths) > 0 {
+		p.cfg.Events.Emitf(EventProfileCapture, "", 0, "reason=%s types=%d dir=%s", reason, len(paths), p.cfg.Dir)
+		p.logf("burn profiler: captured %d profile(s) to %s (reason=%s)", len(paths), p.cfg.Dir, reason)
+	}
+	return paths
+}
+
+// captureProfile writes one profile of typ to path.
+func captureProfile(typ string, seconds int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case "cpu":
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close() // the StartCPUProfile error is the one worth reporting
+			os.Remove(path)
+			return err
+		}
+		time.Sleep(time.Duration(seconds) * time.Second)
+		pprof.StopCPUProfile()
+	default:
+		prof := pprof.Lookup(typ)
+		if prof == nil {
+			_ = f.Close() // the unknown-type error is the one worth reporting
+			os.Remove(path)
+			return fmt.Errorf("unknown profile %q", typ)
+		}
+		if err := prof.WriteTo(f, 0); err != nil {
+			_ = f.Close() // the WriteTo error is the one worth reporting
+			os.Remove(path)
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// Captures returns how many capture rounds have fired (0 on nil).
+func (p *BurnProfiler) Captures() int64 {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.captures
+}
+
+// Close stops the watch goroutine (if started). Safe to call more than
+// once.
+func (p *BurnProfiler) Close() error {
+	if p == nil {
+		return nil
+	}
+	p.closeOne.Do(func() {
+		p.startOne.Do(func() { close(p.done) }) // never started: unblock the wait
+		if p.cancel != nil {
+			p.cancel()
+		}
+		<-p.done
+	})
+	return nil
+}
+
+func (p *BurnProfiler) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}

@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBurnProfilerCapturesOnBurn(t *testing.T) {
+	dir := t.TempDir()
+	events := NewEventLog(64)
+	p := NewBurnProfiler(BurnProfilerConfig{
+		Events: events,
+		Dir:    dir,
+		Types:  []string{"heap", "goroutine"},
+		Logf:   t.Logf,
+	})
+	p.Start()
+	defer p.Close()
+
+	events.Emit(EventSLOBurn, "node-a", 0, "burn=2.0")
+
+	deadline := time.After(5 * time.Second)
+	for p.Captures() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("no capture after SLO burn event")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// Wait for the files to land (capture runs after the counter bump).
+	var files []string
+	for len(files) < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("profiles not written: %v", files)
+		case <-time.After(10 * time.Millisecond):
+		}
+		files, _ = filepath.Glob(filepath.Join(dir, "burn-*.pprof"))
+	}
+	for _, f := range files {
+		body, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := validatePprof(body); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+	// The capture itself lands in the event log.
+	found := false
+	for _, e := range events.Since(0, 0) {
+		if e.Type == EventProfileCapture && strings.Contains(e.Detail, "reason=slo.burn") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("EventProfileCapture missing from event log")
+	}
+}
+
+func TestBurnProfilerCooldown(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := NewBurnProfiler(BurnProfilerConfig{
+		Dir:      t.TempDir(),
+		Cooldown: time.Minute,
+		Now:      func() time.Time { return now },
+	})
+	if got := p.CaptureNow("test"); len(got) == 0 {
+		t.Fatal("first capture produced nothing")
+	}
+	if got := p.CaptureNow("test"); got != nil {
+		t.Fatalf("capture inside cooldown ran: %v", got)
+	}
+	now = now.Add(2 * time.Minute)
+	if got := p.CaptureNow("test"); len(got) == 0 {
+		t.Fatal("capture after cooldown produced nothing")
+	}
+	if got := p.Captures(); got != 2 {
+		t.Fatalf("Captures = %d, want 2", got)
+	}
+}
+
+func TestBurnProfilerIgnoresOtherEvents(t *testing.T) {
+	events := NewEventLog(64)
+	p := NewBurnProfiler(BurnProfilerConfig{Events: events, Dir: t.TempDir()})
+	p.Start()
+	defer p.Close()
+	events.Emit(EventNodeDown, "node-a", 0, "")
+	events.Emit(EventSLOClear, "node-a", 0, "")
+	time.Sleep(50 * time.Millisecond)
+	if got := p.Captures(); got != 0 {
+		t.Fatalf("Captures = %d after non-burn events, want 0", got)
+	}
+}
+
+func TestBurnProfilerNilAndCloseWithoutStart(t *testing.T) {
+	var p *BurnProfiler
+	p.Start()
+	if got := p.CaptureNow("x"); got != nil {
+		t.Errorf("nil CaptureNow = %v", got)
+	}
+	if got := p.Captures(); got != 0 {
+		t.Errorf("nil Captures = %d", got)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+
+	real := NewBurnProfiler(BurnProfilerConfig{Dir: t.TempDir()})
+	if err := real.Close(); err != nil { // never started
+		t.Fatal(err)
+	}
+	if err := real.Close(); err != nil { // double close
+		t.Fatal(err)
+	}
+}

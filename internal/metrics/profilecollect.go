@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfileCapture fetches windowed pprof profiles from every node's
+// operator endpoint in parallel — the fleet twin of TraceCollector, but
+// for /debug/profile instead of /debug/trace/export. One capture yields
+// one .pprof file per reachable node, ready for `go tool pprof`.
+type ProfileCapture struct {
+	// Endpoints are operator HTTP addresses ("host:port" or full
+	// http:// URLs), one per node.
+	Endpoints []string
+	// Type selects the profile: heap, allocs, cpu, goroutine
+	// (default heap).
+	Type string
+	// Seconds is the delta window. For heap/allocs a positive window
+	// captures growth over the window instead of the absolute profile;
+	// for cpu it is the sampling duration (default 5).
+	Seconds int
+	// Client overrides the HTTP client. The default timeout scales with
+	// Seconds so a long cpu window is not cut off mid-capture.
+	Client *http.Client
+}
+
+// ProfileResult is one node's outcome: the written file or the error
+// that kept it out of the capture.
+type ProfileResult struct {
+	Endpoint string `json:"endpoint"`
+	Path     string `json:"path,omitempty"`
+	Bytes    int64  `json:"bytes,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// gzipMagic opens every valid pprof file (they are gzipped protobuf).
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// CaptureTo fetches one profile per endpoint in parallel and writes
+// them under dir as <endpoint>.<type>.pprof (endpoint sanitized for the
+// filesystem). It returns an error only when no node produced a valid
+// profile — per-node failures ride in the result slice so a partial
+// fleet still yields a partial capture.
+func (c *ProfileCapture) CaptureTo(ctx context.Context, dir string) ([]ProfileResult, error) {
+	typ := c.Type
+	if typ == "" {
+		typ = "heap"
+	}
+	seconds := c.Seconds
+	if seconds <= 0 && typ == "cpu" {
+		seconds = 5
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	client := c.Client
+	if client == nil {
+		client = &http.Client{Timeout: time.Duration(seconds+15) * time.Second}
+	}
+	results := make([]ProfileResult, len(c.Endpoints))
+	var wg sync.WaitGroup
+	for i, ep := range c.Endpoints {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			results[i] = fetchNodeProfile(ctx, client, ep, typ, seconds, dir)
+		}(i, ep)
+	}
+	wg.Wait()
+	ok := false
+	for _, r := range results {
+		if r.Err == "" {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		var errs []error
+		for _, r := range results {
+			errs = append(errs, fmt.Errorf("%s: %s", r.Endpoint, r.Err))
+		}
+		return results, fmt.Errorf("metrics: profile capture %s: %w", typ, errors.Join(errs...))
+	}
+	return results, nil
+}
+
+// fetchNodeProfile GETs one node's /debug/profile and writes the
+// validated body to dir.
+func fetchNodeProfile(ctx context.Context, client *http.Client, endpoint, typ string, seconds int, dir string) ProfileResult {
+	res := ProfileResult{Endpoint: endpoint}
+	url := endpoint
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + fmt.Sprintf("/debug/profile?type=%s&seconds=%d", typ, seconds)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		res.Err = fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return res
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		res.Err = "reading profile: " + err.Error()
+		return res
+	}
+	if err := validatePprof(body); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	path := filepath.Join(dir, sanitizeEndpoint(endpoint)+"."+typ+".pprof")
+	if err := os.WriteFile(path, body, 0o644); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Path = path
+	res.Bytes = int64(len(body))
+	return res
+}
+
+// validatePprof checks the body is a non-empty gzipped payload — the
+// shape every runtime/pprof profile has — so a capture never writes an
+// HTML error page to disk as a .pprof file.
+func validatePprof(body []byte) error {
+	if len(body) < len(gzipMagic) || !bytes.Equal(body[:len(gzipMagic)], gzipMagic) {
+		return errors.New("metrics: response is not a pprof profile (missing gzip header)")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("metrics: invalid pprof gzip: %w", err)
+	}
+	defer zr.Close()
+	n, err := io.Copy(io.Discard, zr)
+	if err != nil {
+		return fmt.Errorf("metrics: corrupt pprof payload: %w", err)
+	}
+	if n == 0 {
+		return errors.New("metrics: empty pprof payload")
+	}
+	return nil
+}
+
+// sanitizeEndpoint maps an endpoint address to a filename-safe stem.
+func sanitizeEndpoint(ep string) string {
+	ep = strings.TrimPrefix(ep, "http://")
+	ep = strings.TrimPrefix(ep, "https://")
+	var sb strings.Builder
+	for _, r := range ep {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-':
+			sb.WriteRune(r)
+		default:
+			sb.WriteRune('_')
+		}
+	}
+	return sb.String()
+}

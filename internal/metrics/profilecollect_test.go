@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// profileHandler serves a real heap profile — the shape /debug/profile
+// produces — so the capture path is tested against genuine pprof bytes.
+func profileHandler(t *testing.T) http.HandlerFunc {
+	t.Helper()
+	return func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("type"); got != "heap" {
+			http.Error(w, "unexpected type "+got, http.StatusBadRequest)
+			return
+		}
+		if err := pprof.Lookup("heap").WriteTo(w, 0); err != nil {
+			t.Errorf("writing heap profile: %v", err)
+		}
+	}
+}
+
+func TestProfileCaptureTo(t *testing.T) {
+	a := httptest.NewServer(profileHandler(t))
+	defer a.Close()
+	b := httptest.NewServer(profileHandler(t))
+	defer b.Close()
+
+	dir := t.TempDir()
+	pc := &ProfileCapture{
+		Endpoints: []string{a.URL, strings.TrimPrefix(b.URL, "http://")}, // mixed addressing
+		Type:      "heap",
+	}
+	results, err := pc.CaptureTo(context.Background(), filepath.Join(dir, "capture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("%s: %s", r.Endpoint, r.Err)
+		}
+		if !strings.HasSuffix(r.Path, ".heap.pprof") {
+			t.Errorf("path %q missing .heap.pprof suffix", r.Path)
+		}
+		body, err := os.ReadFile(r.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := validatePprof(body); err != nil {
+			t.Errorf("%s: %v", r.Path, err)
+		}
+		if int64(len(body)) != r.Bytes {
+			t.Errorf("reported %d bytes, file has %d", r.Bytes, len(body))
+		}
+	}
+}
+
+func TestProfileCapturePartialFailure(t *testing.T) {
+	up := httptest.NewServer(profileHandler(t))
+	defer up.Close()
+
+	pc := &ProfileCapture{
+		Endpoints: []string{up.URL, "127.0.0.1:1"}, // second node unreachable
+		Type:      "heap",
+		Client:    &http.Client{Timeout: 2 * time.Second},
+	}
+	results, err := pc.CaptureTo(context.Background(), t.TempDir())
+	if err != nil {
+		t.Fatalf("partial capture should succeed, got %v", err)
+	}
+	if results[0].Err != "" || results[1].Err == "" {
+		t.Fatalf("want node 0 ok + node 1 failed, got %+v", results)
+	}
+}
+
+func TestProfileCaptureAllFail(t *testing.T) {
+	pc := &ProfileCapture{Endpoints: []string{"127.0.0.1:1"}, Client: &http.Client{Timeout: time.Second}}
+	if _, err := pc.CaptureTo(context.Background(), t.TempDir()); err == nil {
+		t.Fatal("want error when every node fails")
+	}
+}
+
+func TestProfileCaptureRejectsNonPprof(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html>not a profile</html>"))
+	}))
+	defer srv.Close()
+	pc := &ProfileCapture{Endpoints: []string{srv.URL}}
+	results, err := pc.CaptureTo(context.Background(), t.TempDir())
+	if err == nil {
+		t.Fatal("want error for non-pprof body")
+	}
+	if results[0].Err == "" || !strings.Contains(results[0].Err, "gzip") {
+		t.Fatalf("want gzip validation error, got %+v", results[0])
+	}
+}
+
+func TestValidatePprof(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte("payload"))
+	zw.Close()
+	if err := validatePprof(buf.Bytes()); err != nil {
+		t.Errorf("valid gzip rejected: %v", err)
+	}
+	if err := validatePprof([]byte("plain")); err == nil {
+		t.Error("plain text accepted")
+	}
+	var empty bytes.Buffer
+	zw = gzip.NewWriter(&empty)
+	zw.Close()
+	if err := validatePprof(empty.Bytes()); err == nil {
+		t.Error("empty payload accepted")
+	}
+}
+
+func TestSanitizeEndpoint(t *testing.T) {
+	for in, want := range map[string]string{
+		"http://10.0.0.1:9100":  "10.0.0.1_9100",
+		"node-a.example.com:80": "node-a.example.com_80",
+		"https://x/y":           "x_y",
+	} {
+		if got := sanitizeEndpoint(in); got != want {
+			t.Errorf("sanitizeEndpoint(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

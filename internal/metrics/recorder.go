@@ -32,6 +32,9 @@ type RecorderConfig struct {
 	// LatencyHistogram names the registry histogram whose p99 (µs) is
 	// recorded per sample.
 	LatencyHistogram string
+	// Runtime, when non-nil, contributes Go-runtime telemetry (heap,
+	// GC, goroutines) to every sample.
+	Runtime *RuntimeSampler
 	// Now overrides the clock (tests). Defaults to time.Now.
 	Now func() time.Time
 }
@@ -45,6 +48,14 @@ type RecorderSample struct {
 	ThroughputOps float64       `json:"throughput_ops_s"`
 	P99Us         float64       `json:"p99_us"`
 	Events        []Event       `json:"events,omitempty"`
+
+	// Runtime telemetry, present when RecorderConfig.Runtime is set.
+	HeapLiveBytes   uint64  `json:"heap_live_bytes,omitempty"`
+	HeapGoalBytes   uint64  `json:"heap_goal_bytes,omitempty"`
+	Goroutines      int64   `json:"goroutines,omitempty"`
+	GCPauseP99Us    float64 `json:"gc_pause_p99_us,omitempty"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction,omitempty"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes,omitempty"`
 }
 
 // Recorder appends periodic RecorderSample lines to a JSONL artifact —
@@ -128,10 +139,19 @@ func (r *Recorder) SampleNow() (RecorderSample, error) {
 	now := r.cfg.Now()
 	ops := r.sumRateCounters()
 	seq := r.cfg.Events.LastSeq()
+	rt := r.cfg.Runtime.Last() // before r.mu: Last may take its own sample
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	sample := RecorderSample{TS: now}
+	if r.cfg.Runtime != nil {
+		sample.HeapLiveBytes = rt.HeapLiveBytes
+		sample.HeapGoalBytes = rt.HeapGoalBytes
+		sample.Goroutines = rt.Goroutines
+		sample.GCPauseP99Us = rt.GCPauseP99Us
+		sample.GCCPUFraction = rt.GCCPUFraction
+		sample.TotalAllocBytes = rt.TotalAllocBytes
+	}
 	if elapsed := now.Sub(r.lastTime).Seconds(); elapsed > 0 {
 		sample.ThroughputOps = float64(ops-r.lastOps) / elapsed
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -163,5 +164,72 @@ func TestRecorderNil(t *testing.T) {
 	}
 	if rec.Samples() != 0 || rec.Close() != nil {
 		t.Fatal("nil recorder must no-op")
+	}
+}
+
+func TestRecorderRuntimeFields(t *testing.T) {
+	clk := newFakeClock()
+	reg := NewRegistry()
+	rt := NewRuntimeSampler(RuntimeSamplerConfig{Interval: time.Hour, Now: clk.now})
+	defer rt.Close()
+	path := filepath.Join(t.TempDir(), "series.jsonl")
+	rec, err := NewRecorder(RecorderConfig{
+		Path:     path,
+		Registry: reg,
+		Runtime:  rt,
+		Now:      clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	clk.advance(time.Second)
+	s, err := rec.SampleNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HeapLiveBytes == 0 || s.HeapGoalBytes == 0 || s.Goroutines <= 0 || s.TotalAllocBytes == 0 {
+		t.Fatalf("runtime fields missing from sample: %+v", s)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Schema round-trip: the JSONL line decodes back to the same values.
+	disk := readSamples(t, path)
+	if len(disk) != 1 {
+		t.Fatalf("artifact holds %d lines, want 1", len(disk))
+	}
+	got := disk[0]
+	if got.HeapLiveBytes != s.HeapLiveBytes || got.HeapGoalBytes != s.HeapGoalBytes ||
+		got.Goroutines != s.Goroutines || got.TotalAllocBytes != s.TotalAllocBytes ||
+		got.GCPauseP99Us != s.GCPauseP99Us || got.GCCPUFraction != s.GCCPUFraction {
+		t.Fatalf("round trip mismatch:\n disk %+v\n mem  %+v", got, s)
+	}
+	// The raw line carries the documented field names.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"heap_live_bytes", "heap_goal_bytes", "goroutines", "total_alloc_bytes"} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("JSONL line missing %q: %s", key, raw)
+		}
+	}
+}
+
+func TestRecorderWithoutRuntime(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.jsonl")
+	rec, err := NewRecorder(RecorderConfig{Path: path, Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	s, err := rec.SampleNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.HeapLiveBytes != 0 || s.Goroutines != 0 {
+		t.Fatalf("runtime fields set without a sampler: %+v", s)
 	}
 }

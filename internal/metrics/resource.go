@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"time"
+)
+
+// ResourceDelta is what one measured request cost the process:
+// allocated bytes/objects and on-CPU thread time between Begin and End.
+//
+// The alloc figures come from the process-global cumulative counters
+// (/gc/heap/allocs), so concurrent goroutines add noise to any single
+// measurement. Under sampling (one request in N) the noise is symmetric
+// and the per-op averages converge on the true cost; treat a single
+// delta as a statistical draw, not an exact bill.
+type ResourceDelta struct {
+	AllocBytes   int64
+	AllocObjects int64
+	CPU          time.Duration // on-CPU time of the serving thread; 0 where unsupported
+	Wall         time.Duration
+}
+
+// ResourceSample is an in-flight measurement started by
+// BeginResourceSample and finished by End.
+type ResourceSample struct {
+	start        time.Time
+	allocBytes   uint64
+	allocObjects uint64
+	cpuStart     int64 // thread CPU ns; -1 when unsupported
+	locked       bool  // holding runtime.LockOSThread until End
+	buf          [2]runtimemetrics.Sample
+}
+
+const (
+	allocBytesKey   = "/gc/heap/allocs:bytes"
+	allocObjectsKey = "/gc/heap/allocs:objects"
+)
+
+// BeginResourceSample starts measuring the current goroutine's request.
+// When thread-CPU accounting is supported (linux), the goroutine is
+// locked to its OS thread until End so the CLOCK_THREAD_CPUTIME_ID
+// delta bills the right thread. Callers must call End exactly once.
+func BeginResourceSample() *ResourceSample {
+	s := &ResourceSample{cpuStart: -1}
+	s.buf[0].Name = allocBytesKey
+	s.buf[1].Name = allocObjectsKey
+	if threadCPUSupported {
+		runtime.LockOSThread()
+		s.locked = true
+		s.cpuStart = threadCPUNanos()
+	}
+	runtimemetrics.Read(s.buf[:])
+	if s.buf[0].Value.Kind() == runtimemetrics.KindUint64 {
+		s.allocBytes = s.buf[0].Value.Uint64()
+	}
+	if s.buf[1].Value.Kind() == runtimemetrics.KindUint64 {
+		s.allocObjects = s.buf[1].Value.Uint64()
+	}
+	s.start = time.Now()
+	return s
+}
+
+// End finishes the measurement and returns the delta. Negative deltas
+// (counter skew across a runtime metrics flush) clamp to zero.
+func (s *ResourceSample) End() ResourceDelta {
+	if s == nil {
+		return ResourceDelta{}
+	}
+	var d ResourceDelta
+	d.Wall = time.Since(s.start)
+	runtimemetrics.Read(s.buf[:])
+	if s.buf[0].Value.Kind() == runtimemetrics.KindUint64 {
+		d.AllocBytes = clampDelta(s.buf[0].Value.Uint64(), s.allocBytes)
+	}
+	if s.buf[1].Value.Kind() == runtimemetrics.KindUint64 {
+		d.AllocObjects = clampDelta(s.buf[1].Value.Uint64(), s.allocObjects)
+	}
+	if s.cpuStart >= 0 {
+		if now := threadCPUNanos(); now >= s.cpuStart {
+			d.CPU = time.Duration(now - s.cpuStart)
+		}
+	}
+	if s.locked {
+		runtime.UnlockOSThread()
+		s.locked = false
+	}
+	return d
+}
+
+func clampDelta(cur, prev uint64) int64 {
+	if cur < prev {
+		return 0
+	}
+	return int64(cur - prev)
+}

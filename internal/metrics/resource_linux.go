@@ -1,0 +1,27 @@
+//go:build linux
+
+package metrics
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// threadCPUSupported reports whether per-thread CPU accounting is
+// available. On linux we read CLOCK_THREAD_CPUTIME_ID directly; the
+// caller pins the goroutine to its OS thread around the measurement.
+const threadCPUSupported = true
+
+const clockThreadCPUTimeID = 3 // CLOCK_THREAD_CPUTIME_ID from <time.h>
+
+// threadCPUNanos returns the calling OS thread's consumed CPU time in
+// nanoseconds (user+system), or -1 when the clock read fails.
+func threadCPUNanos() int64 {
+	var ts syscall.Timespec
+	_, _, errno := syscall.RawSyscall(syscall.SYS_CLOCK_GETTIME,
+		clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0)
+	if errno != 0 {
+		return -1
+	}
+	return ts.Sec*1e9 + ts.Nsec
+}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package metrics
+
+// threadCPUSupported is false off linux: there is no portable
+// per-thread CPU clock, so ResourceDelta.CPU stays zero and the alloc
+// accounting carries the attribution on its own.
+const threadCPUSupported = false
+
+func threadCPUNanos() int64 { return -1 }

@@ -19,6 +19,11 @@
 //	                     ?format=json
 //	/fleet               fleet router snapshot (placement, breakers,
 //	                     handoff depths); ?format=json
+//	/debug/attrib        sampled per-opcode resource attribution, sorted
+//	                     by alloc bytes/op; ?format=json
+//	/debug/profile       windowed pprof capture (?type=heap|allocs|cpu|
+//	                     goroutine, ?seconds=N for a delta window), only
+//	                     when EnablePprof is set
 //	/healthz             200 while the process is up
 //	/readyz              200 when Ready() returns nil, 503 otherwise
 //	/debug/pprof/*       net/http/pprof, only when EnablePprof is set
@@ -62,6 +67,10 @@ type Config struct {
 	// func so the handler always serves current breaker states and
 	// handoff depths, not a boot-time copy. Unset returns 404.
 	Fleet func() fleet.Status
+	// Attrib, when set, backs /debug/attrib with the backend's sampled
+	// per-opcode resource table (server.Backend.Attribution). Unset
+	// returns 404.
+	Attrib func() metrics.AttribSnapshot
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints can stall a loaded process and
 	// should be an explicit operator decision.
@@ -285,6 +294,74 @@ func NewMux(cfg Config) *http.ServeMux {
 				fmt.Fprintf(w, " last_err=%q", n.LastError)
 			}
 			fmt.Fprintln(w)
+		}
+	})
+	mux.HandleFunc("/debug/attrib", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Attrib == nil {
+			http.Error(w, "attribution not enabled (start with -attr-sample > 0)", http.StatusNotFound)
+			return
+		}
+		snap := cfg.Attrib()
+		if r.URL.Query().Get("format") == "json" {
+			if snap.Entries == nil {
+				snap.Entries = []metrics.AttribEntry{}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if snap.SampleEvery == 0 {
+			fmt.Fprintln(w, "attribution disabled")
+			return
+		}
+		fmt.Fprintf(w, "resource attribution, sampling 1/%d requests\n", snap.SampleEvery)
+		fmt.Fprintf(w, "%-10s %10s %16s %14s %12s %12s\n",
+			"op", "samples", "alloc_bytes/op", "allocs/op", "cpu_us/op", "wall_us/op")
+		for _, e := range snap.Entries {
+			fmt.Fprintf(w, "%-10s %10d %16.0f %14.1f %12.1f %12.1f\n",
+				e.Op, e.Samples, e.AllocBytesPerOp, e.AllocsPerOp, e.CPUUsPerOp, e.WallUsPerOp)
+		}
+	})
+	mux.HandleFunc("/debug/profile", func(w http.ResponseWriter, r *http.Request) {
+		if !cfg.EnablePprof {
+			http.Error(w, "profiling not enabled (start with -pprof)", http.StatusForbidden)
+			return
+		}
+		q := r.URL.Query()
+		typ := q.Get("type")
+		if typ == "" {
+			typ = "heap"
+		}
+		seconds := 0
+		if sStr := q.Get("seconds"); sStr != "" {
+			v, err := strconv.Atoi(sStr)
+			if err != nil || v < 0 || v > 300 {
+				http.Error(w, "bad seconds (want 0..300)", http.StatusBadRequest)
+				return
+			}
+			seconds = v
+		}
+		// Delegate to net/http/pprof, which already implements windowed
+		// delta profiles: a seconds= parameter on a profile handler
+		// captures the difference between two snapshots that far apart.
+		r2 := r.Clone(r.Context())
+		switch typ {
+		case "cpu":
+			if seconds <= 0 {
+				seconds = 5
+			}
+			r2.URL.RawQuery = fmt.Sprintf("seconds=%d", seconds)
+			pprof.Profile(w, r2)
+		case "heap", "allocs", "goroutine":
+			if seconds > 0 {
+				r2.URL.RawQuery = fmt.Sprintf("seconds=%d", seconds)
+			} else {
+				r2.URL.RawQuery = ""
+			}
+			pprof.Handler(typ).ServeHTTP(w, r2)
+		default:
+			http.Error(w, "bad type (want heap, allocs, cpu or goroutine)", http.StatusBadRequest)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -33,6 +33,9 @@ type Backend struct {
 	slow    atomic.Pointer[metrics.SlowLog]
 	readSLO atomic.Pointer[metrics.SLO]
 
+	attr    atomic.Pointer[metrics.AttribTable]
+	attrCtr atomic.Uint64
+
 	reg *metrics.Registry
 	met serverMetrics
 }
@@ -57,6 +60,7 @@ func (b *Backend) SetMetrics(reg *metrics.Registry) {
 		name := opNames[op]
 		b.met.reqs[op] = reg.Counter("server.req." + name)
 		b.met.lat[op] = reg.Histogram("server.req." + name + ".latency_us")
+		b.met.allocB[op] = reg.Histogram("server.req." + name + ".alloc_bytes")
 	}
 	b.met.badReqs = reg.Counter("server.req.bad")
 	b.met.conns = reg.Gauge("server.conns.active")
@@ -81,6 +85,27 @@ func (b *Backend) SlowLog() *metrics.SlowLog {
 // not-found, deleted or failure. Nil detaches. Safe at runtime.
 func (b *Backend) SetReadSLO(slo *metrics.SLO) {
 	b.readSLO.Store(slo)
+}
+
+// SetAttribution enables sampled per-opcode resource attribution: one
+// request in every is measured (alloc bytes/objects and, on linux,
+// thread CPU time) and its delta charged to the opcode, feeding the
+// /debug/attrib table and the server.req.<op>.alloc_bytes histograms.
+// every <= 0 disables. Safe at runtime; the table resets on re-enable.
+// Because the table hangs off the Backend, it covers every front door —
+// native v1/v2 and RESP traffic land in one table.
+func (b *Backend) SetAttribution(every int) {
+	if every <= 0 {
+		b.attr.Store(nil)
+		return
+	}
+	b.attr.Store(metrics.NewAttribTable(every))
+}
+
+// Attribution snapshots the per-opcode resource table (zero snapshot
+// when attribution is off).
+func (b *Backend) Attribution() metrics.AttribSnapshot {
+	return b.attr.Load().Snapshot()
 }
 
 // ConnOpened notes one transport connection coming up; listeners call
@@ -108,9 +133,23 @@ func (b *Backend) begin(ctx context.Context, op uint8) (context.Context, func(ke
 	if traced {
 		ctx, end = b.reg.ContinueSpan(ctx, "server.req."+opNames[op])
 	}
+	// Sampled resource attribution: every Nth request across all front
+	// doors is measured and its alloc/CPU delta charged to the opcode.
+	var res *metrics.ResourceSample
+	attr := b.attr.Load()
+	if attr != nil && b.attrCtr.Add(1)%uint64(attr.SampleEvery()) == 0 {
+		res = metrics.BeginResourceSample()
+	}
 	start := time.Now()
 	return ctx, func(key []byte, err error) {
 		elapsed := time.Since(start)
+		if res != nil {
+			// End before the shared instrumentation below, so the bill
+			// covers the request's work, not the metrics writes.
+			d := res.End()
+			attr.Charge(opNames[op], d)
+			b.met.allocB[op].Observe(float64(d.AllocBytes))
+		}
 		b.met.reqs[op].Inc()
 		b.met.lat[op].Observe(float64(elapsed) / float64(time.Microsecond))
 		if op == OpGet {

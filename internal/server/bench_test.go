@@ -9,6 +9,7 @@ import (
 	"directload/internal/aof"
 	"directload/internal/blockfs"
 	"directload/internal/core"
+	"directload/internal/metrics"
 	"directload/internal/ssd"
 )
 
@@ -121,3 +122,51 @@ func BenchmarkRemotePublish(b *testing.B) {
 		b.ReportMetric(float64(publishEntries*b.N)/b.Elapsed().Seconds(), "puts/s")
 	})
 }
+
+// benchBackend builds a bare Backend (no listener) over a fresh engine,
+// instrumented with a registry — the baseline every attribution figure
+// is compared against.
+func benchBackend(b *testing.B) *Backend {
+	b.Helper()
+	dev, err := ssd.NewDevice(ssd.DefaultConfig(1 << 30))
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := core.Open(blockfs.NewNativeFS(dev), core.Options{
+		AOF: aof.Config{FileSize: 16 << 20, GCThreshold: 0.25}, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	bk := NewBackend(db)
+	bk.SetMetrics(metrics.NewRegistry())
+	return bk
+}
+
+func benchBackendPut20KB(b *testing.B, attrEvery int) {
+	bk := benchBackend(b)
+	bk.SetAttribution(attrEvery)
+	ctx := context.Background()
+	val := make([]byte, 20<<10)
+	b.SetBytes(int64(len(val)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := []byte(fmt.Sprintf("key-%08d", i))
+		if err := bk.Put(ctx, key, 1, val, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPut20KBBackend is the Backend twin of the engine-level
+// BenchmarkPut20KBInstrumented: one instrumented put through the shared
+// execution path, no wire.
+func BenchmarkPut20KBBackend(b *testing.B) { benchBackendPut20KB(b, 0) }
+
+// BenchmarkPut20KBAttributed is BenchmarkPut20KBBackend with 1/64
+// resource attribution sampling enabled — the delta between the two is
+// the price of continuous attribution, guarded below 3% by
+// TestAttributionOverheadPut20KB.
+func BenchmarkPut20KBAttributed(b *testing.B) { benchBackendPut20KB(b, 64) }

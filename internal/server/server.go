@@ -63,6 +63,7 @@ type Server struct {
 type serverMetrics struct {
 	reqs     [opMax + 1]*metrics.Counter
 	lat      [opMax + 1]*metrics.Histogram
+	allocB   [opMax + 1]*metrics.Histogram // sampled alloc bytes per request
 	badReqs  *metrics.Counter
 	conns    *metrics.Gauge
 	inflight *metrics.Gauge   // server.pipeline.inflight: requests being dispatched
@@ -73,6 +74,12 @@ type serverMetrics struct {
 // HTTP). Call before Serve; nil leaves the server uninstrumented.
 func (s *Server) SetMetrics(reg *metrics.Registry) {
 	s.backend.SetMetrics(reg)
+}
+
+// SetAttribution enables sampled per-opcode resource attribution on the
+// shared backend (one request in every measured; <= 0 disables).
+func (s *Server) SetAttribution(every int) {
+	s.backend.SetAttribution(every)
 }
 
 // New wraps an engine. The caller keeps ownership of db and must close
