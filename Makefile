@@ -46,6 +46,8 @@ bench-out:
 	$(GO) test -run xxx -bench 'BenchmarkRecovery' -benchmem -benchtime 20x -count 3 ./internal/core/ >> .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkAOFAppendAligned' -benchmem -benchtime 5000x -count 3 ./internal/aof/ >> .bench.out
 	$(GO) test -run xxx -bench 'BenchmarkRESPPipelined' -benchmem -benchtime 20000x -count 3 ./internal/resp/ >> .bench.out
+	$(GO) test -run xxx -bench 'BenchmarkSearchTermQuery|BenchmarkSearchAndQuery' -benchmem -benchtime 2000x -count 3 ./internal/search/ >> .bench.out
+	$(GO) test -run xxx -bench 'BenchmarkSearchQueryDuringPublish' -benchmem -benchtime 200x -count 3 ./internal/search/ >> .bench.out
 
 # Machine-readable benchmark report: the remote publish path plus the
 # core engine benchmarks, rendered to BENCH_directload.json by
@@ -75,6 +77,8 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz '^FuzzFrameV2$$' -fuzztime 10s ./internal/server/
 	$(GO) test -run xxx -fuzz '^FuzzDecode$$' -fuzztime 10s ./internal/aof/
 	$(GO) test -run xxx -fuzz '^FuzzRESPParse$$' -fuzztime 10s ./internal/resp/
+	$(GO) test -run xxx -fuzz '^FuzzPostingsDecode$$' -fuzztime 10s ./internal/search/
+	$(GO) test -run xxx -fuzz '^FuzzCIFFImport$$' -fuzztime 10s ./internal/search/
 
 # Full pre-merge gate: compile, standard vet, the repo's own analyzer
 # suite, unit tests, then the race detector over every package.

@@ -47,18 +47,7 @@ func runFleet(args []string) {
 		fleetUsage()
 	}
 
-	var groups [][]string
-	for _, g := range strings.Split(*nodes, ";") {
-		var members []string
-		for _, m := range strings.Split(g, ",") {
-			if m = strings.TrimSpace(m); m != "" {
-				members = append(members, m)
-			}
-		}
-		if len(members) > 0 {
-			groups = append(groups, members)
-		}
-	}
+	groups := parseGroups(*nodes)
 	// The router always carries its own observability spine — metrics
 	// registry, structured event log and read SLO — so status, record
 	// and ad-hoc commands share one view of the run.

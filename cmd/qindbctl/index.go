@@ -1,0 +1,366 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"directload/internal/fleet"
+	"directload/internal/indexer"
+	"directload/internal/search"
+	"directload/internal/server"
+)
+
+// indexUsage prints the index subcommand's help and exits.
+func indexUsage() {
+	fmt.Fprintln(os.Stderr, "usage: qindbctl [-http host:port] index <cmd> [args]")
+	fmt.Fprintln(os.Stderr, "       list                                      known indexes (-http address)")
+	fmt.Fprintln(os.Stderr, "       create <name>                             register an empty index")
+	fmt.Fprintln(os.Stderr, "       build [-docs N] [-vocab N] [-doc-terms N] [-seed N] <name>")
+	fmt.Fprintln(os.Stderr, "                                                 crawl a synthetic corpus and publish it;")
+	fmt.Fprintln(os.Stderr, "                                                 -nodes 'a,b,c[;d,e,f]' -version N publishes")
+	fmt.Fprintln(os.Stderr, "                                                 the built segment through the fleet router")
+	fmt.Fprintln(os.Stderr, "       ingest <name> [file]                      publish documents (JSON array or")
+	fmt.Fprintln(os.Stderr, "                                                 'url term term ...' lines; default stdin)")
+	fmt.Fprintln(os.Stderr, "       query [-mode and|term|phrase] [-version N] [-limit N] [-json] <name> <term>...")
+	fmt.Fprintln(os.Stderr, "                                                 -nodes serves the query from fleet reads")
+	fmt.Fprintln(os.Stderr, "                                                 against a pinned -version")
+	fmt.Fprintln(os.Stderr, "       export [-version N] [-out file] <name>    CIFF stream (stdout without -out)")
+	fmt.Fprintln(os.Stderr, "       import <name> <file>                      publish a CIFF file as a new version")
+	fmt.Fprintln(os.Stderr, "`qindbctl search <name> <term>...` is shorthand for index query.")
+	os.Exit(2)
+}
+
+// runIndex dispatches `qindbctl index <sub>` and the `qindbctl search`
+// shorthand. Everything talks to the daemon's operator HTTP surface
+// (/index, see internal/search) except the -nodes paths, which build
+// or read segments client-side through the fleet router.
+func runIndex(cmd string, args []string) {
+	if cmd == "search" {
+		runIndexQuery(args)
+		return
+	}
+	if len(args) == 0 {
+		indexUsage()
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "list":
+		fetchHTTP("/index")
+	case "create":
+		if len(rest) != 1 {
+			indexUsage()
+		}
+		postHTTP("/index/"+url.PathEscape(rest[0]), "text/plain", nil)
+	case "build":
+		runIndexBuild(rest)
+	case "ingest":
+		runIndexIngest(rest)
+	case "query":
+		runIndexQuery(rest)
+	case "export":
+		runIndexExport(rest)
+	case "import":
+		runIndexImport(rest)
+	default:
+		indexUsage()
+	}
+}
+
+// postHTTP POSTs a body to the operator HTTP address and copies the
+// response to stdout.
+func postHTTP(path, contentType string, body []byte) {
+	client := &http.Client{Timeout: *timeout}
+	u := "http://" + *httpAddr + path
+	resp, err := client.Post(u, contentType, bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST %s: %v (is qindbd running with -metrics-addr %s?)", u, err, *httpAddr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: %s: %s", u, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// parseGroups splits a -nodes value: ';' between replication groups,
+// ',' between member addresses.
+func parseGroups(s string) [][]string {
+	var groups [][]string
+	for _, g := range strings.Split(s, ";") {
+		var members []string
+		for _, m := range strings.Split(g, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		if len(members) > 0 {
+			groups = append(groups, members)
+		}
+	}
+	return groups
+}
+
+// dialIndexFleet brings up a router over the -nodes groups for the
+// index paths (default placement: 3 replicas, majority quorum).
+func dialIndexFleet(nodes string) *fleet.Fleet {
+	f, err := fleet.New(fleet.Config{
+		Groups:   parseGroups(nodes),
+		Replicas: 3,
+		DialOpts: []server.DialOption{server.WithTimeout(*timeout)},
+	})
+	if err != nil {
+		log.Fatalf("fleet: %v", err)
+	}
+	return f
+}
+
+// fleetEngine adapts the router's hedged reads to the search store's
+// engine surface; queries served this way never write.
+type fleetEngine struct {
+	ctx context.Context
+	f   *fleet.Fleet
+}
+
+func (e fleetEngine) Put(string, uint64, []byte) error {
+	return errors.New("qindbctl: fleet index reads are read-only; publish with index build -nodes")
+}
+
+func (e fleetEngine) Get(key string, version uint64) ([]byte, error) {
+	return e.f.Get(e.ctx, []byte(key), version)
+}
+
+// runIndexBuild crawls a synthetic corpus (internal/indexer) and
+// publishes it — through REST ingest by default, or as a client-built
+// segment quorum-written via the fleet router with -nodes.
+func runIndexBuild(args []string) {
+	fs := flag.NewFlagSet("index build", flag.ExitOnError)
+	docs := fs.Int("docs", 1000, "documents to crawl")
+	vocab := fs.Int("vocab", 0, "vocabulary size (0 = crawler default)")
+	docTerms := fs.Int("doc-terms", 0, "terms per document (0 = crawler default)")
+	seed := fs.Int64("seed", 1, "crawl seed (same seed = identical corpus)")
+	abstractTerms := fs.Int("abstract-terms", 8, "terms kept in each stored abstract")
+	nodes := fs.String("nodes", "", "publish through the fleet router ( ';' groups, ',' members) instead of REST")
+	version := fs.Uint64("version", 0, "version to publish at (required with -nodes)")
+	fs.Usage = indexUsage
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		indexUsage()
+	}
+	name := fs.Arg(0)
+
+	cfg := indexer.DefaultCrawlConfig()
+	cfg.Documents = *docs
+	cfg.Seed = *seed
+	if *vocab > 0 {
+		cfg.VocabSize = *vocab
+	}
+	if *docTerms > 0 {
+		cfg.DocTerms = *docTerms
+	}
+	crawler, err := indexer.NewCrawler(cfg)
+	if err != nil {
+		log.Fatalf("crawl: %v", err)
+	}
+	corpus := crawler.Crawl()
+	inputs := search.FromDocuments(corpus, *abstractTerms)
+
+	if *nodes != "" {
+		if *version == 0 {
+			log.Fatal("index build -nodes needs -version (the fleet has no version allocator)")
+		}
+		seg, err := search.BuildSegment(inputs)
+		if err != nil {
+			log.Fatalf("build: %v", err)
+		}
+		pairs := search.SegmentPairs(name, seg)
+		entries := make([]fleet.Entry, len(pairs))
+		for i, p := range pairs {
+			entries[i] = fleet.Entry{Key: []byte(p.Key), Value: p.Value}
+		}
+		f := dialIndexFleet(*nodes)
+		defer f.Close()
+		start := time.Now()
+		if err := f.PublishVersion(context.Background(), *version, entries); err != nil {
+			log.Fatalf("fleet publish: %v", err)
+		}
+		fmt.Printf("published %s v=%d docs=%d terms=%d bytes=%d across the fleet in %s\n",
+			name, *version, seg.DocCount(), seg.TermCount(), len(seg.Bytes()),
+			time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	body, err := json.Marshal(inputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	postHTTP("/index/"+url.PathEscape(name)+"/ingest", "application/json", body)
+}
+
+// runIndexIngest publishes documents from a file or stdin through REST.
+func runIndexIngest(args []string) {
+	if len(args) < 1 || len(args) > 2 {
+		indexUsage()
+	}
+	in := io.Reader(os.Stdin)
+	if len(args) == 2 {
+		file, err := os.Open(args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer file.Close()
+		in = file
+	}
+	body, err := io.ReadAll(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct := "text/plain"
+	if strings.HasPrefix(strings.TrimSpace(string(body)), "[") {
+		ct = "application/json"
+	}
+	postHTTP("/index/"+url.PathEscape(args[0])+"/ingest", ct, body)
+}
+
+// runIndexQuery serves one query — via REST by default, or from fleet
+// hedged reads against a pinned version with -nodes (the segment is
+// loaded client-side and queried locally, so the answer is exactly the
+// pinned version's regardless of what publishes meanwhile).
+func runIndexQuery(args []string) {
+	fs := flag.NewFlagSet("index query", flag.ExitOnError)
+	mode := fs.String("mode", "", "query class: term, and (default) or phrase")
+	version := fs.Uint64("version", 0, "pin to this version (0 = latest; required with -nodes)")
+	limit := fs.Int("limit", 0, "max hits (0 = all)")
+	jsonOut := fs.Bool("json", false, "JSON output")
+	nodes := fs.String("nodes", "", "serve from fleet reads (';' groups, ',' members) instead of REST")
+	fs.Usage = indexUsage
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		indexUsage()
+	}
+	name, terms := fs.Arg(0), fs.Args()[1:]
+
+	if *nodes != "" {
+		if *version == 0 {
+			log.Fatal("index query -nodes needs -version (fleet reads are pinned, never 'latest')")
+		}
+		class, err := search.ParseQueryClass(*mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if class == search.ClassAnd && len(terms) == 1 {
+			class = search.ClassTerm
+		}
+		f := dialIndexFleet(*nodes)
+		defer f.Close()
+		ctx := context.Background()
+		seg, _, err := search.LoadSegment(fleetEngine{ctx: ctx, f: f}, name, *version)
+		if err != nil {
+			log.Fatalf("loading %s v=%d from fleet: %v", name, *version, err)
+		}
+		sn := search.NewSnapshot(name, *version, seg)
+		res, stats, err := sn.Query(ctx, class, terms, *limit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut {
+			out, _ := json.MarshalIndent(res, "", "  ")
+			fmt.Println(string(out))
+			return
+		}
+		for _, hit := range res {
+			fmt.Printf("%-28s tf=%-4d %s\n", hit.URL, hit.TF, hit.Abstract)
+		}
+		fmt.Printf("# %d hits  %s %v  v=%d  blocks scanned=%d skipped=%d (fleet)\n",
+			len(res), class, terms, *version, stats.BlocksScanned, stats.BlocksSkipped)
+		return
+	}
+
+	q := url.Values{}
+	q.Set("q", strings.Join(terms, " "))
+	if *mode != "" {
+		q.Set("mode", *mode)
+	}
+	if *version != 0 {
+		q.Set("version", fmt.Sprint(*version))
+	}
+	if *limit != 0 {
+		q.Set("limit", fmt.Sprint(*limit))
+	}
+	if *jsonOut {
+		q.Set("format", "json")
+	}
+	fetchHTTP("/index/" + url.PathEscape(name) + "/query?" + q.Encode())
+}
+
+// runIndexExport fetches the CIFF stream of an index version.
+func runIndexExport(args []string) {
+	fs := flag.NewFlagSet("index export", flag.ExitOnError)
+	version := fs.Uint64("version", 0, "pin to this version (0 = latest)")
+	out := fs.String("out", "", "write the CIFF stream to this file (default stdout)")
+	fs.Usage = indexUsage
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		indexUsage()
+	}
+	path := "/index/" + url.PathEscape(fs.Arg(0)) + "/export"
+	if *version != 0 {
+		path += fmt.Sprintf("?version=%d", *version)
+	}
+	client := &http.Client{Timeout: *timeout}
+	u := "http://" + *httpAddr + path
+	resp, err := client.Get(u)
+	if err != nil {
+		log.Fatalf("GET %s: %v (is qindbd running with -metrics-addr %s?)", u, err, *httpAddr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("GET %s: %s: %s", u, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := file.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		dst = file
+	}
+	n, err := io.Copy(dst, resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *out != "" {
+		fmt.Printf("exported %d CIFF bytes to %s\n", n, *out)
+	}
+}
+
+// runIndexImport publishes a CIFF file as a new index version.
+func runIndexImport(args []string) {
+	if len(args) != 2 {
+		indexUsage()
+	}
+	body, err := os.ReadFile(args[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	postHTTP("/index/"+url.PathEscape(args[0])+"/import", "application/octet-stream", body)
+}

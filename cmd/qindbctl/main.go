@@ -15,6 +15,8 @@
 //	qindbctl -http 127.0.0.1:8080 events [-since N] [-n 20] [-follow]
 //	qindbctl profile -nodes 'a,b,c' [-type heap] [-seconds 5] [-out dir]  # fleet-wide pprof capture
 //	qindbctl fleet -nodes 'a,b,c' <put|get|drop|load|where|status|record>  # shard router over several nodes
+//	qindbctl index <list|create|build|ingest|query|export|import>          # index lifecycle (see index -h)
+//	qindbctl search <name> <term>...                                       # query an index (= index query)
 //
 // -timeout bounds each operation (and the dial); load streams stdin
 // into OpBatch frames, one round trip per batch instead of per record.
@@ -66,6 +68,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "       events [-since N] [-n N] [-follow]    structured event log (-http address)")
 	fmt.Fprintln(os.Stderr, "       profile [-nodes a,b] [-type heap] [-seconds 5] [-out dir]  pprof delta per node")
 	fmt.Fprintln(os.Stderr, "       fleet -nodes 'a,b,c' <cmd>      shard router over several nodes (fleet -h)")
+	fmt.Fprintln(os.Stderr, "       index <list|create|build|ingest|query|export|import>  index lifecycle (index -h)")
+	fmt.Fprintln(os.Stderr, "       search <name> <term>...         query an index (= index query)")
 	os.Exit(2)
 }
 
@@ -268,6 +272,11 @@ func main() {
 	case "fleet":
 		// The router dials its own nodes; -addr is not involved.
 		runFleet(args)
+		return
+	case "index", "search":
+		// Index lifecycle rides the operator HTTP surface (or, with
+		// -nodes, the fleet router); the storage port is not involved.
+		runIndex(cmd, args)
 		return
 	}
 

@@ -29,7 +29,10 @@
 // internal/ops: /metrics (text, ?format=json, ?format=prom), /slo,
 // /events, /healthz, /readyz, /debug/trace, /debug/trace/export,
 // /debug/slowlog, /debug/attrib (per-op resource attribution, see
-// -attr-sample), and (with -pprof) the runtime profiler under
+// -attr-sample), /index (the inverted-index lifecycle of
+// internal/search: create, ingest, query, CIFF export/import — index
+// segments are versioned values in the same engine the KV front doors
+// serve), and (with -pprof) the runtime profiler under
 // /debug/pprof/ plus windowed delta captures at /debug/profile. Go
 // runtime telemetry (heap, GC, goroutines) is sampled every
 // -runtime-interval and exported as runtime.* gauges. With -record set
@@ -56,6 +59,7 @@ import (
 	"directload/internal/metrics"
 	"directload/internal/ops"
 	"directload/internal/resp"
+	"directload/internal/search"
 	"directload/internal/server"
 	"directload/internal/ssd"
 )
@@ -85,6 +89,23 @@ var (
 	runtimeEvery  = flag.Duration("runtime-interval", time.Second, "Go runtime telemetry sampling cadence for the runtime.* gauges (0 = off)")
 	profileOnBurn = flag.String("profile-on-burn", "", "capture heap+cpu profiles into this directory when the read SLO starts burning (empty = off)")
 )
+
+// coreEngine adapts the storage engine to the search store's
+// exact-version KV surface; index chunks become ordinary versioned
+// engine values (dedup off: postings chunks change every version).
+type coreEngine struct {
+	db *core.DB
+}
+
+func (e coreEngine) Put(key string, version uint64, value []byte) error {
+	_, err := e.db.Put([]byte(key), version, value, false)
+	return err
+}
+
+func (e coreEngine) Get(key string, version uint64) ([]byte, error) {
+	v, _, err := e.db.Get([]byte(key), version)
+	return v, err
+}
 
 // readiness builds the /readyz check: the engine must be open, the AOF
 // store not under space pressure, and the memtable below the high-water
@@ -175,6 +196,11 @@ func main() {
 	}
 	var opsSrv *ops.Server
 	if *metricsAddr != "" {
+		// The index lifecycle rides on the operator address: segments
+		// are versioned values in the same engine the KV front doors
+		// serve, so /index queries and RESP/native traffic share one
+		// store, one registry, one trace timeline.
+		searchSvc := search.NewService(coreEngine{db: db}, reg)
 		opsSrv, err = ops.Listen(*metricsAddr, ops.Config{
 			Registry:    reg,
 			SlowLog:     slow,
@@ -184,6 +210,7 @@ func main() {
 			Ready:       readiness(db, *memHighWater),
 			EnablePprof: *pprofOn,
 			Attrib:      s.Backend().Attribution,
+			Index:       search.NewHandler(searchSvc),
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,0 +1,46 @@
+// Package search is a fixture mirroring the postings SegmentWriter:
+// Close seals the version by writing the index meta record, so a
+// dropped Close error publishes a segment that may never have been
+// sealed.
+package search
+
+type SegmentWriter struct{}
+
+func (w *SegmentWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (w *SegmentWriter) Close() error                { return nil }
+func (w *SegmentWriter) Abort() error                { return nil }
+
+func publishDropped(w *SegmentWriter, data []byte) {
+	_, _ = w.Write(data)
+	w.Close() // want `Close error dropped on the storage write path`
+}
+
+func publishChecked(w *SegmentWriter, data []byte) error {
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	// The seal is the moment the version becomes visible: its error
+	// must propagate.
+	return w.Close()
+}
+
+func publishAborted(w *SegmentWriter) {
+	// An explicit discard on the abort path is a visible decision: the
+	// original write error is the one the caller reports.
+	_ = w.Abort()
+}
+
+func publishDeferred(w *SegmentWriter) {
+	// Deferred closes are teardown idiom, not silent data loss.
+	defer w.Close()
+}
+
+func sealMany(ws []*SegmentWriter) error {
+	var firstErr error
+	for _, w := range ws {
+		if err := w.Close(); err != nil && firstErr == nil {
+			firstErr = err // want `loop keeps only the first error in firstErr; aggregate every replica failure with errors.Join`
+		}
+	}
+	return firstErr
+}

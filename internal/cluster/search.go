@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"directload/internal/bifrost"
+	"directload/internal/netsim"
+	"directload/internal/search"
+)
+
+// PublishSearchIndex ships a built postings segment through the full
+// update pipeline — dedup, slicing, cross-region fan-out, per-DC apply
+// — as one published version. The segment rides as its chunk + meta
+// key/value pairs on the inverted stream (every DC serves queries), so
+// after the report comes back every data center can open a search
+// snapshot pinned to this version.
+func (d *DirectLoad) PublishSearchIndex(ctx context.Context, version uint64, name string, seg *search.Segment) (UpdateReport, error) {
+	if err := search.ValidateIndexName(name); err != nil {
+		return UpdateReport{}, err
+	}
+	pairs := search.SegmentPairs(name, seg)
+	entries := make([]Entry, len(pairs))
+	for i, p := range pairs {
+		entries[i] = Entry{Key: []byte(p.Key), Value: p.Value, Stream: bifrost.StreamInverted}
+	}
+	return d.PublishVersionContext(ctx, version, entries)
+}
+
+// dcEngine adapts one data center's Mint store to the search engine
+// surface (exact-version gets; puts go straight to the store, outside
+// the publish pipeline — tests and backfills only).
+type dcEngine struct {
+	dc *DataCenter
+}
+
+func (e dcEngine) Put(key string, version uint64, value []byte) error {
+	_, err := e.dc.Store.Put([]byte(key), version, value, false)
+	return err
+}
+
+func (e dcEngine) Get(key string, version uint64) ([]byte, error) {
+	v, _, err := e.dc.Store.Get([]byte(key), version)
+	return v, err
+}
+
+// SearchStore returns a search engine view over one data center, for
+// opening snapshots against versions published with PublishSearchIndex.
+func (d *DirectLoad) SearchStore(dcID netsim.NodeID) (search.Engine, error) {
+	dc, ok := d.DCs[dcID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownDC, dcID)
+	}
+	return dcEngine{dc: dc}, nil
+}
+
+// OpenSearchSnapshot loads the named index at an exact published
+// version from one data center and pins a query view to it. The
+// virtual storage read cost of loading every chunk is returned
+// alongside — the paper's measure of what a snapshot open costs the
+// serving node.
+func (d *DirectLoad) OpenSearchSnapshot(dcID netsim.NodeID, name string, version uint64) (*search.Snapshot, time.Duration, error) {
+	dc, ok := d.DCs[dcID]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrUnknownDC, dcID)
+	}
+	var cost time.Duration
+	eng := costEngine{dc: dc, cost: &cost}
+	seg, _, err := search.LoadSegment(eng, name, version)
+	if err != nil {
+		return nil, cost, err
+	}
+	sn := search.NewSnapshot(name, version, seg)
+	sn.SetMetrics(d.reg)
+	return sn, cost, nil
+}
+
+// costEngine is dcEngine plus device-time accounting for Gets.
+type costEngine struct {
+	dc   *DataCenter
+	cost *time.Duration
+}
+
+func (e costEngine) Put(key string, version uint64, value []byte) error {
+	_, err := e.dc.Store.Put([]byte(key), version, value, false)
+	return err
+}
+
+func (e costEngine) Get(key string, version uint64) ([]byte, error) {
+	v, d, err := e.dc.Store.Get([]byte(key), version)
+	*e.cost += d
+	return v, err
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"directload/internal/indexer"
+	"directload/internal/search"
+)
+
+// TestPublishSearchIndexAcrossDCs pushes a postings segment through the
+// full update pipeline and opens a pinned snapshot in every data
+// center: each DC must answer queries identically to a local snapshot
+// over the same segment.
+func TestPublishSearchIndexAcrossDCs(t *testing.T) {
+	d := newSystem(t)
+
+	cfg := indexer.DefaultCrawlConfig()
+	cfg.Documents = 150
+	cfg.VocabSize = 80
+	cfg.DocTerms = 20
+	cfg.Seed = 21
+	c, err := indexer.NewCrawler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crawl()
+	seg, err := search.BuildSegment(search.FromDocuments(c.Corpus(), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := d.PublishSearchIndex(context.Background(), 1, "web", seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Keys == 0 || rep.Version != 1 {
+		t.Fatalf("report keys=%d version=%d", rep.Keys, rep.Version)
+	}
+
+	local := search.NewSnapshot("web", 1, seg)
+	queries := [][]string{
+		{"term00001"},
+		{"term00002", "term00005"},
+		{"term00000", "term00003", "term00001"},
+	}
+	want := make([][]byte, len(queries))
+	for i, terms := range queries {
+		res, _, err := local.Query(context.Background(), search.ClassAnd, terms, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = json.Marshal(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for id := range d.DCs {
+		sn, cost, err := d.OpenSearchSnapshot(id, "web", 1)
+		if err != nil {
+			t.Fatalf("dc %s: %v", id, err)
+		}
+		if cost <= 0 {
+			t.Errorf("dc %s: snapshot open reported no storage cost", id)
+		}
+		if sn.Version != 1 || sn.Seg.DocCount() != seg.DocCount() {
+			t.Fatalf("dc %s: snapshot %s", id, sn.Seg)
+		}
+		for i, terms := range queries {
+			res, _, err := sn.Query(context.Background(), search.ClassAnd, terms, 0)
+			if err != nil {
+				t.Fatalf("dc %s AND %v: %v", id, terms, err)
+			}
+			got, err := json.Marshal(res)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want[i]) {
+				t.Fatalf("dc %s AND %v: results differ from local snapshot", id, terms)
+			}
+		}
+	}
+
+	if _, err := d.SearchStore("nosuch"); err == nil {
+		t.Fatal("SearchStore accepted an unknown DC")
+	}
+	if _, _, err := d.OpenSearchSnapshot("nosuch", "web", 1); err == nil {
+		t.Fatal("OpenSearchSnapshot accepted an unknown DC")
+	}
+	for id := range d.DCs {
+		if _, _, err := d.OpenSearchSnapshot(id, "web", 99); err == nil {
+			t.Fatal("unpublished version opened")
+		}
+		break
+	}
+	if _, err := d.PublishSearchIndex(context.Background(), 2, "bad name", seg); err == nil {
+		t.Fatal("invalid index name published")
+	}
+}

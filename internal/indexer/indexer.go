@@ -41,7 +41,11 @@ type CrawlConfig struct {
 	// VIPMutateProb overrides MutateProb for VIP documents (VIP data are
 	// crawled and updated more frequently, paper §3).
 	VIPMutateProb float64
-	Seed          int64
+	// Seed drives a per-crawler *rand.Rand (never the package-global
+	// math/rand stream): the same seed replays the exact same corpus
+	// and mutation history, and concurrent crawlers cannot interleave
+	// each other's random streams.
+	Seed int64
 }
 
 // DefaultCrawlConfig returns a small, paper-shaped corpus.

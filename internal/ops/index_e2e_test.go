@@ -1,0 +1,75 @@
+package ops
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"directload/internal/metrics"
+	"directload/internal/search"
+)
+
+// TestIndexEndpointThroughOps mounts the search REST surface on the
+// ops mux — the same wiring qindbd uses — and drives the lifecycle
+// through it: create, ingest, query, and the search metrics landing in
+// the shared registry.
+func TestIndexEndpointThroughOps(t *testing.T) {
+	reg := metrics.NewRegistry()
+	svc := search.NewService(search.NewMemEngine(), reg)
+	mux := NewMux(Config{Registry: reg, Index: search.NewHandler(svc)})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	post := func(path, body string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+path, "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(out)
+	}
+
+	if code, body := post("/index/web", ""); code != 201 {
+		t.Fatalf("create: %d %q", code, body)
+	}
+	if code, body := post("/index/web/ingest", "u/a apple banana\nu/b banana\n"); code != 200 || !strings.Contains(body, "v=1") {
+		t.Fatalf("ingest: %d %q", code, body)
+	}
+	code, body, _ := get(t, srv, "/index/web/query?q=banana&format=json")
+	if code != 200 {
+		t.Fatalf("query: %d %q", code, body)
+	}
+	var qr struct {
+		Version uint64          `json:"version"`
+		Hits    []search.Result `json:"hits"`
+	}
+	if err := json.Unmarshal([]byte(body), &qr); err != nil || qr.Version != 1 || len(qr.Hits) != 2 {
+		t.Fatalf("query response %q (%v)", body, err)
+	}
+	if code, body, _ := get(t, srv, "/index"); code != 200 || !strings.Contains(body, "web") {
+		t.Fatalf("list: %d %q", code, body)
+	}
+
+	// The shared registry saw the publish and the query.
+	code, body, _ = get(t, srv, "/metrics?format=json")
+	if code != 200 {
+		t.Fatalf("metrics: %d", code)
+	}
+	if !strings.Contains(body, "search.index.publishes") || !strings.Contains(body, "search.query.count") {
+		t.Fatalf("search metrics missing from ops registry:\n%s", body)
+	}
+
+	// Without an Index handler the route 404s.
+	bare := httptest.NewServer(NewMux(Config{Registry: metrics.NewRegistry()}))
+	defer bare.Close()
+	if code, _, _ := get(t, bare, "/index"); code != 404 {
+		t.Fatalf("unmounted /index: %d", code)
+	}
+}

@@ -24,6 +24,9 @@
 //	/debug/profile       windowed pprof capture (?type=heap|allocs|cpu|
 //	                     goroutine, ?seconds=N for a delta window), only
 //	                     when EnablePprof is set
+//	/index               index lifecycle (internal/search): list,
+//	                     create, ingest, query, CIFF export/import —
+//	                     only when an Index handler is configured
 //	/healthz             200 while the process is up
 //	/readyz              200 when Ready() returns nil, 503 otherwise
 //	/debug/pprof/*       net/http/pprof, only when EnablePprof is set
@@ -71,6 +74,9 @@ type Config struct {
 	// per-opcode resource table (server.Backend.Attribution). Unset
 	// returns 404.
 	Attrib func() metrics.AttribSnapshot
+	// Index, when set, serves the index-lifecycle REST surface
+	// (internal/search.NewHandler) under /index. Unset returns 404.
+	Index http.Handler
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints can stall a loaded process and
 	// should be an explicit operator decision.
@@ -80,6 +86,10 @@ type Config struct {
 // NewMux builds the operator mux for cfg.
 func NewMux(cfg Config) *http.ServeMux {
 	mux := http.NewServeMux()
+	if cfg.Index != nil {
+		mux.Handle("/index", cfg.Index)
+		mux.Handle("/index/", cfg.Index)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Query().Get("format") {
 		case "json":

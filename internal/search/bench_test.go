@@ -1,0 +1,114 @@
+package search
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"directload/internal/indexer"
+)
+
+// benchCorpus builds a crawl-shaped corpus big enough that hot terms
+// span multiple postings blocks.
+func benchCorpus(tb testing.TB, docs int, seed int64) []DocInput {
+	tb.Helper()
+	cfg := indexer.DefaultCrawlConfig()
+	cfg.Documents = docs
+	cfg.VocabSize = 400
+	cfg.DocTerms = 50
+	cfg.Seed = seed
+	c, err := indexer.NewCrawler(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c.Crawl()
+	return FromDocuments(c.Corpus(), 6)
+}
+
+func benchSnapshot(b *testing.B) *Snapshot {
+	b.Helper()
+	seg, err := BuildSegment(benchCorpus(b, 3000, 17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewSnapshot("bench", 1, seg)
+}
+
+// BenchmarkSearchTermQuery measures single-term lookups against an
+// in-memory snapshot: dictionary binary search plus a full postings
+// walk of a hot (Zipf head) term.
+func BenchmarkSearchTermQuery(b *testing.B) {
+	sn := benchSnapshot(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := sn.Query(ctx, ClassTerm, []string{"term00001"}, 10)
+		if err != nil || len(res) == 0 {
+			b.Fatalf("%d hits, %v", len(res), err)
+		}
+	}
+}
+
+// BenchmarkSearchAndQuery measures a three-term conjunction: rarest-
+// first leapfrog intersection with block skipping.
+func BenchmarkSearchAndQuery(b *testing.B) {
+	sn := benchSnapshot(b)
+	ctx := context.Background()
+	terms := []string{"term00001", "term00005", "term00013"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sn.Query(ctx, ClassAnd, terms, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchQueryDuringPublish measures query latency on a pinned
+// snapshot while a background publisher keeps writing new versions into
+// the same core.DB engine — the read path the snapshot-isolation design
+// has to keep flat.
+func BenchmarkSearchQueryDuringPublish(b *testing.B) {
+	eng := newCoreEngine(b)
+	svc := NewService(eng, nil)
+	docs := benchCorpus(b, 800, 19)
+	if _, err := svc.Ingest("bench", docs); err != nil {
+		b.Fatal(err)
+	}
+	sn, err := svc.Snapshot("bench", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var stop atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		// Re-publish mutated versions until the timed section ends.
+		for v := 2; !stop.Load(); v++ {
+			mut := append([]DocInput(nil), docs...)
+			mut[v%len(mut)].Terms = append([]string(nil), fmt.Sprintf("hot%05d", v))
+			if _, err := svc.Ingest("bench", mut); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	ctx := context.Background()
+	terms := []string{"term00001", "term00005"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sn.Query(ctx, ClassAnd, terms, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	stop.Store(true)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}

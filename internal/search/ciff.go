@@ -1,0 +1,473 @@
+package search
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CIFF interop: the Common Index File Format (Lin et al., "Supporting
+// Interoperability Between Open-Source Search Engines with the Common
+// Index File Format") is a varint-delimited sequence of protobuf
+// messages — one Header, then Header.num_postings_lists PostingsList
+// messages, then Header.num_docs DocRecord messages. The wire format
+// is hand-rolled here (no protobuf dependency) but byte-compatible:
+//
+//	Header       1:version 2:num_postings_lists 3:num_docs
+//	             4:total_postings_lists 5:total_docs
+//	             6:total_terms_in_collection 7:average_doclength(double)
+//	             8:description(string)
+//	PostingsList 1:term 2:df 3:cf 4:postings(repeated Posting)
+//	Posting      1:docid(d-gap) 2:tf
+//	DocRecord    1:docid 2:collection_docid 3:doclength
+//
+// CIFF carries no positions or abstracts, so imported segments answer
+// term and AND queries only (phrase returns ErrNoPositions), and an
+// export→import round trip preserves exactly the postings, document
+// identifiers and document lengths.
+
+// ErrBadCIFF reports malformed CIFF input.
+var ErrBadCIFF = errors.New("search: malformed CIFF")
+
+// ciffDescription marks exports in the CIFF header's free-form field.
+const ciffDescription = "directload internal/search export"
+
+// ciffMaxTF bounds imported term frequencies (they must fit the
+// segment format's uint32 and stay plausible for a single document).
+const ciffMaxTF = 1 << 31
+
+// ciffPosting is one (docID, tf) posting flowing through import.
+type ciffPosting struct {
+	docID uint32
+	tf    uint64
+}
+
+// --- protobuf wire helpers --------------------------------------------------
+
+const (
+	wireVarint = 0
+	wireI64    = 1
+	wireLen    = 2
+	wireI32    = 5
+)
+
+func pbVarintField(dst []byte, field int, v uint64) []byte {
+	if v == 0 {
+		return dst // proto3: zero-valued scalars are omitted
+	}
+	dst = binary.AppendUvarint(dst, uint64(field<<3|wireVarint))
+	return binary.AppendUvarint(dst, v)
+}
+
+func pbBytesField(dst []byte, field int, v []byte) []byte {
+	if len(v) == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(field<<3|wireLen))
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+func pbDoubleField(dst []byte, field int, v float64) []byte {
+	if v == 0 {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(field<<3|wireI64))
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// pbFrame appends one varint-length-delimited message.
+func pbFrame(dst, msg []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(msg)))
+	return append(dst, msg...)
+}
+
+// pbReader walks protobuf wire data. Unlike segReader it accepts
+// non-minimal varints (the proto spec does), but every declared length
+// is still checked against the remaining input before any allocation.
+type pbReader struct {
+	b   []byte
+	off int
+}
+
+func (r *pbReader) remaining() int { return len(r.b) - r.off }
+
+func (r *pbReader) varint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated or oversized varint at %d", ErrBadCIFF, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// frame reads one varint-delimited message body.
+func (r *pbReader) frame() (*pbReader, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: frame of %d bytes, %d remain", ErrBadCIFF, n, r.remaining())
+	}
+	msg := &pbReader{b: r.b[r.off : r.off+int(n)]}
+	r.off += int(n)
+	return msg, nil
+}
+
+// field reads the next field key; ok=false at end of message.
+func (r *pbReader) field() (num int, wire int, ok bool, err error) {
+	if r.remaining() == 0 {
+		return 0, 0, false, nil
+	}
+	key, err := r.varint()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if key>>3 == 0 || key>>3 > uint64(math.MaxInt32) {
+		return 0, 0, false, fmt.Errorf("%w: field number %d", ErrBadCIFF, key>>3)
+	}
+	return int(key >> 3), int(key & 7), true, nil
+}
+
+// lenBytes reads a length-delimited payload.
+func (r *pbReader) lenBytes() ([]byte, error) {
+	n, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: %d-byte field, %d remain", ErrBadCIFF, n, r.remaining())
+	}
+	out := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return out, nil
+}
+
+// skip discards one field of the given wire type.
+func (r *pbReader) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := r.varint()
+		return err
+	case wireI64:
+		if r.remaining() < 8 {
+			return fmt.Errorf("%w: truncated fixed64", ErrBadCIFF)
+		}
+		r.off += 8
+		return nil
+	case wireLen:
+		_, err := r.lenBytes()
+		return err
+	case wireI32:
+		if r.remaining() < 4 {
+			return fmt.Errorf("%w: truncated fixed32", ErrBadCIFF)
+		}
+		r.off += 4
+		return nil
+	}
+	return fmt.Errorf("%w: wire type %d", ErrBadCIFF, wire)
+}
+
+// --- export -----------------------------------------------------------------
+
+// ExportCIFF serializes a segment as a CIFF stream. The output is a
+// deterministic function of the segment's postings, documents and
+// lengths — exporting an imported segment reproduces the import's
+// canonical form byte-for-byte.
+func ExportCIFF(seg *Segment) []byte {
+	var totalTerms uint64
+	for _, d := range seg.docs {
+		totalTerms += uint64(d.Len)
+	}
+	avg := 0.0
+	if len(seg.docs) > 0 {
+		avg = float64(totalTerms) / float64(len(seg.docs))
+	}
+	var hdr []byte
+	hdr = pbVarintField(hdr, 1, 1) // format version
+	hdr = pbVarintField(hdr, 2, uint64(len(seg.terms)))
+	hdr = pbVarintField(hdr, 3, uint64(len(seg.docs)))
+	hdr = pbVarintField(hdr, 4, uint64(len(seg.terms)))
+	hdr = pbVarintField(hdr, 5, uint64(len(seg.docs)))
+	hdr = pbVarintField(hdr, 6, totalTerms)
+	hdr = pbDoubleField(hdr, 7, avg)
+	hdr = pbBytesField(hdr, 8, []byte(ciffDescription))
+	out := pbFrame(nil, hdr)
+
+	var msg, pm []byte
+	for i := range seg.terms {
+		t := &seg.terms[i]
+		pairs := make([]ciffPosting, 0, t.docFreq)
+		var cf uint64
+		it, _ := seg.Postings(t.term, nil)
+		for it.Next() {
+			tf := uint64(it.TF())
+			pairs = append(pairs, ciffPosting{docID: it.DocID(), tf: tf})
+			cf += tf
+		}
+		msg = msg[:0]
+		msg = pbBytesField(msg, 1, []byte(t.term))
+		msg = pbVarintField(msg, 2, uint64(t.docFreq))
+		msg = pbVarintField(msg, 3, cf)
+		prev := uint32(0)
+		for _, p := range pairs {
+			pm = pm[:0]
+			pm = pbVarintField(pm, 1, uint64(p.docID-prev)) // d-gap; first is absolute
+			pm = pbVarintField(pm, 2, p.tf)
+			prev = p.docID
+			// An empty Posting message (docid 0, tf 0) cannot occur: tf>=1.
+			msg = binary.AppendUvarint(msg, uint64(4<<3|wireLen))
+			msg = binary.AppendUvarint(msg, uint64(len(pm)))
+			msg = append(msg, pm...)
+		}
+		out = pbFrame(out, msg)
+	}
+	for i, d := range seg.docs {
+		msg = msg[:0]
+		msg = pbVarintField(msg, 1, uint64(i))
+		msg = pbBytesField(msg, 2, []byte(d.URL))
+		msg = pbVarintField(msg, 3, uint64(d.Len))
+		out = pbFrame(out, msg)
+	}
+	return out
+}
+
+// --- import -----------------------------------------------------------------
+
+// ImportCIFF parses a CIFF stream into a segment. The importer accepts
+// any field order and skips unknown fields (standard proto semantics)
+// but rejects structural lies: df disagreeing with the posting count,
+// non-increasing doc IDs, out-of-range references, duplicate terms or
+// collection doc IDs. CIFF doc IDs are positional; the segment orders
+// documents by collection docid (URL), so postings are remapped.
+// Allocation is bounded by the input size throughout.
+func ImportCIFF(data []byte) (*Segment, error) {
+	r := &pbReader{b: data}
+	hdr, err := r.frame()
+	if err != nil {
+		return nil, err
+	}
+	var numLists, numDocs uint64
+	for {
+		num, wire, ok, err := hdr.field()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case num == 2 && wire == wireVarint:
+			if numLists, err = hdr.varint(); err != nil {
+				return nil, err
+			}
+		case num == 3 && wire == wireVarint:
+			if numDocs, err = hdr.varint(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := hdr.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Every message costs at least one framing byte, so the declared
+	// counts cannot exceed the remaining input (bounds every make below).
+	if numLists > uint64(r.remaining()) || numDocs > uint64(r.remaining()) ||
+		numLists+numDocs > uint64(r.remaining()) {
+		return nil, fmt.Errorf("%w: header declares %d lists + %d docs, %d bytes remain",
+			ErrBadCIFF, numLists, numDocs, r.remaining())
+	}
+
+	terms := make([]string, 0, numLists)
+	lists := make(map[string][]ciffPosting, numLists)
+	for i := 0; i < int(numLists); i++ {
+		msg, err := r.frame()
+		if err != nil {
+			return nil, fmt.Errorf("postings list %d: %w", i, err)
+		}
+		term, df, postings, err := parseCIFFPostingsList(msg)
+		if err != nil {
+			return nil, fmt.Errorf("postings list %d: %w", i, err)
+		}
+		if df != uint64(len(postings)) {
+			return nil, fmt.Errorf("%w: list %q declares df=%d, has %d postings", ErrBadCIFF, term, df, len(postings))
+		}
+		if len(postings) == 0 {
+			return nil, fmt.Errorf("%w: empty postings list %q", ErrBadCIFF, term)
+		}
+		if _, dup := lists[term]; dup {
+			return nil, fmt.Errorf("%w: duplicate term %q", ErrBadCIFF, term)
+		}
+		terms = append(terms, term)
+		lists[term] = postings
+	}
+
+	docs := make([]DocEntry, 0, numDocs)
+	for i := 0; i < int(numDocs); i++ {
+		msg, err := r.frame()
+		if err != nil {
+			return nil, fmt.Errorf("doc record %d: %w", i, err)
+		}
+		d, docid, err := parseCIFFDocRecord(msg)
+		if err != nil {
+			return nil, fmt.Errorf("doc record %d: %w", i, err)
+		}
+		if docid != uint64(i) {
+			return nil, fmt.Errorf("%w: doc record %d has docid %d", ErrBadCIFF, i, docid)
+		}
+		docs = append(docs, d)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCIFF, r.remaining())
+	}
+
+	// Remap positional CIFF doc IDs onto URL-sorted segment doc IDs.
+	perm := make([]int, len(docs))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return docs[perm[a]].URL < docs[perm[b]].URL })
+	sorted := make([]DocEntry, len(docs))
+	old2new := make([]uint32, len(docs))
+	for newID, oldID := range perm {
+		if docs[oldID].URL == "" || (newID > 0 && sorted[newID-1].URL == docs[oldID].URL) {
+			return nil, fmt.Errorf("%w: %v", ErrDocOrder, docs[oldID].URL)
+		}
+		sorted[newID] = docs[oldID]
+		old2new[oldID] = uint32(newID)
+	}
+	sort.Strings(terms)
+	for _, t := range terms {
+		lst := lists[t]
+		for i := range lst {
+			if lst[i].docID >= uint32(len(docs)) {
+				return nil, fmt.Errorf("%w: term %q references doc %d of %d", ErrBadCIFF, t, lst[i].docID, len(docs))
+			}
+			lst[i].docID = old2new[lst[i].docID]
+		}
+		sort.Slice(lst, func(a, b int) bool { return lst[a].docID < lst[b].docID })
+	}
+	seg, err := buildFromPostings(sorted, terms, lists)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCIFF, err)
+	}
+	return seg, nil
+}
+
+func parseCIFFPostingsList(msg *pbReader) (term string, df uint64, postings []ciffPosting, err error) {
+	var prev uint64
+	for {
+		num, wire, ok, ferr := msg.field()
+		if ferr != nil {
+			return "", 0, nil, ferr
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case num == 1 && wire == wireLen:
+			b, err := msg.lenBytes()
+			if err != nil {
+				return "", 0, nil, err
+			}
+			term = string(b)
+		case num == 2 && wire == wireVarint:
+			if df, err = msg.varint(); err != nil {
+				return "", 0, nil, err
+			}
+		case num == 4 && wire == wireLen:
+			pm, err := msg.frame()
+			if err != nil {
+				return "", 0, nil, err
+			}
+			var gap, tf uint64
+			for {
+				pnum, pwire, pok, perr := pm.field()
+				if perr != nil {
+					return "", 0, nil, perr
+				}
+				if !pok {
+					break
+				}
+				switch {
+				case pnum == 1 && pwire == wireVarint:
+					if gap, err = pm.varint(); err != nil {
+						return "", 0, nil, err
+					}
+				case pnum == 2 && pwire == wireVarint:
+					if tf, err = pm.varint(); err != nil {
+						return "", 0, nil, err
+					}
+				default:
+					if err := pm.skip(pwire); err != nil {
+						return "", 0, nil, err
+					}
+				}
+			}
+			if tf == 0 || tf > ciffMaxTF {
+				return "", 0, nil, fmt.Errorf("%w: posting tf %d", ErrBadCIFF, tf)
+			}
+			if len(postings) > 0 && gap == 0 {
+				return "", 0, nil, fmt.Errorf("%w: zero d-gap", ErrBadCIFF)
+			}
+			prev += gap
+			if prev > math.MaxUint32 {
+				return "", 0, nil, fmt.Errorf("%w: doc ID %d overflows", ErrBadCIFF, prev)
+			}
+			postings = append(postings, ciffPosting{docID: uint32(prev), tf: tf})
+		default:
+			if err := msg.skip(wire); err != nil {
+				return "", 0, nil, err
+			}
+		}
+	}
+	if term == "" {
+		return "", 0, nil, fmt.Errorf("%w: postings list without term", ErrBadCIFF)
+	}
+	return term, df, postings, nil
+}
+
+func parseCIFFDocRecord(msg *pbReader) (d DocEntry, docid uint64, err error) {
+	for {
+		num, wire, ok, ferr := msg.field()
+		if ferr != nil {
+			return DocEntry{}, 0, ferr
+		}
+		if !ok {
+			break
+		}
+		switch {
+		case num == 1 && wire == wireVarint:
+			if docid, err = msg.varint(); err != nil {
+				return DocEntry{}, 0, err
+			}
+		case num == 2 && wire == wireLen:
+			b, err := msg.lenBytes()
+			if err != nil {
+				return DocEntry{}, 0, err
+			}
+			d.URL = string(b)
+		case num == 3 && wire == wireVarint:
+			dl, err := msg.varint()
+			if err != nil {
+				return DocEntry{}, 0, err
+			}
+			if dl > 1<<31 {
+				return DocEntry{}, 0, fmt.Errorf("%w: doclength %d", ErrBadCIFF, dl)
+			}
+			d.Len = int(dl)
+		default:
+			if err := msg.skip(wire); err != nil {
+				return DocEntry{}, 0, err
+			}
+		}
+	}
+	if d.URL == "" {
+		return DocEntry{}, 0, fmt.Errorf("%w: doc record without collection_docid", ErrBadCIFF)
+	}
+	return d, docid, nil
+}

@@ -1,0 +1,170 @@
+package search
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"directload/internal/indexer"
+)
+
+func crawlSegment(t *testing.T, seed int64) *Segment {
+	t.Helper()
+	cfg := indexer.DefaultCrawlConfig()
+	cfg.Documents = 200
+	cfg.VocabSize = 90
+	cfg.DocTerms = 25
+	cfg.Seed = seed
+	c, err := indexer.NewCrawler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crawl()
+	seg, err := BuildSegment(FromDocuments(c.Corpus(), 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+// TestCIFFRoundTrip: export → import must preserve everything CIFF can
+// carry — documents, lengths, and tf-bearing postings — so term and
+// conjunctive queries agree exactly. Positions are not part of CIFF, so
+// phrase queries degrade to ErrNoPositions.
+func TestCIFFRoundTrip(t *testing.T) {
+	seg := crawlSegment(t, 3)
+	imported, err := ImportCIFF(ExportCIFF(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.DocCount() != seg.DocCount() || imported.TermCount() != seg.TermCount() {
+		t.Fatalf("shape changed: %s -> %s", seg, imported)
+	}
+	if imported.HasPositions() {
+		t.Fatal("CIFF import must not claim positions")
+	}
+	for id := uint32(0); id < uint32(seg.DocCount()); id++ {
+		a, b := seg.Doc(id), imported.Doc(id)
+		if a.URL != b.URL || a.Len != b.Len {
+			t.Fatalf("doc %d: %+v -> %+v", id, a, b)
+		}
+	}
+	if !reflect.DeepEqual(seg.Terms(), imported.Terms()) {
+		t.Fatal("term dictionaries differ")
+	}
+	for _, term := range seg.Terms() {
+		if seg.DocFreq(term) != imported.DocFreq(term) {
+			t.Fatalf("df(%q) changed", term)
+		}
+		want, _ := seg.QueryTerm(term, 0)
+		got, _ := imported.QueryTerm(term, 0)
+		// Imported docs carry no abstracts — compare the rest.
+		for i := range got {
+			got[i].Abstract = want[i].Abstract
+		}
+		if !sameResults(got, want) {
+			t.Fatalf("term %q postings differ after round trip", term)
+		}
+	}
+	terms := seg.Terms()[:2]
+	want, _, err := seg.QueryAnd(terms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := imported.QueryAnd(terms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		got[i].Abstract = want[i].Abstract
+	}
+	if !sameResults(got, want) {
+		t.Fatal("AND results differ after round trip")
+	}
+	if _, _, err := imported.QueryPhrase(terms, 0); !errors.Is(err, ErrNoPositions) {
+		t.Fatalf("phrase on positionless import: %v", err)
+	}
+}
+
+// TestCIFFExportIdempotent: export∘import is a fixed point — importing
+// an export and re-exporting yields identical bytes.
+func TestCIFFExportIdempotent(t *testing.T) {
+	seg := crawlSegment(t, 4)
+	ciff1 := ExportCIFF(seg)
+	imported, err := ImportCIFF(ciff1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciff2 := ExportCIFF(imported)
+	if !bytes.Equal(ciff1, ciff2) {
+		t.Fatalf("export not idempotent: %d vs %d bytes", len(ciff1), len(ciff2))
+	}
+}
+
+func TestCIFFEmptySegment(t *testing.T) {
+	seg, err := BuildSegment(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported, err := ImportCIFF(ExportCIFF(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported.DocCount() != 0 || imported.TermCount() != 0 {
+		t.Fatalf("empty round trip: %s", imported)
+	}
+}
+
+// TestCIFFRejectsMalformed sweeps truncations and bit flips: decode may
+// reject or accept, but must never panic, and anything accepted must
+// re-export to its own canonical form.
+func TestCIFFRejectsMalformed(t *testing.T) {
+	seg := crawlSegment(t, 5)
+	ciff := ExportCIFF(seg)
+	for n := 0; n < len(ciff); n += 13 {
+		if _, err := ImportCIFF(ciff[:n]); err == nil && n < len(ciff)-1 {
+			t.Fatalf("accepted a %d-byte prefix", n)
+		}
+	}
+	if _, err := ImportCIFF(append(append([]byte(nil), ciff...), 0)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+	for i := 0; i < len(ciff); i += 11 {
+		mut := append([]byte(nil), ciff...)
+		mut[i] ^= 0x20
+		if seg2, err := ImportCIFF(mut); err == nil {
+			re := ExportCIFF(seg2)
+			if _, err := ImportCIFF(re); err != nil {
+				t.Fatalf("byte %d: re-export of accepted mutant does not re-import: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestCIFFThroughService: import via the lifecycle API publishes a
+// queryable version.
+func TestCIFFThroughService(t *testing.T) {
+	seg := crawlSegment(t, 6)
+	svc := NewService(NewMemEngine(), nil)
+	info, err := svc.ImportSegment("imported", ExportCIFF(seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Docs != seg.DocCount() || info.HasPositions {
+		t.Fatalf("import info = %+v", info)
+	}
+	term := seg.Terms()[0]
+	res, _, _, err := svc.Query(context.Background(), "imported", 0, ClassTerm, []string{term}, 3)
+	if err != nil || len(res) == 0 {
+		t.Fatalf("query imported index: %d hits, %v", len(res), err)
+	}
+	out, err := svc.ExportSegment("imported", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, ExportCIFF(seg)) {
+		t.Fatal("service export differs from direct export")
+	}
+}

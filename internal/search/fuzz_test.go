@@ -1,0 +1,101 @@
+package search
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPostingsDecode drives arbitrary bytes through the segment
+// decoder. The encoding is canonical (minimal varints, exact lengths,
+// sorted keys), so anything DecodeSegment accepts must re-encode to the
+// exact input bytes — and decode must never panic or allocate beyond
+// the input's own size class regardless of declared lengths.
+func FuzzPostingsDecode(f *testing.F) {
+	if seg, err := BuildSegment(smallDocs()); err == nil {
+		f.Add(seg.Bytes())
+	}
+	if seg, err := BuildSegment(bigDocs(300)); err == nil {
+		f.Add(seg.Bytes())
+	}
+	if seg, err := BuildSegment(nil); err == nil {
+		f.Add(seg.Bytes())
+	}
+	f.Add([]byte("DLS1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := DecodeSegment(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(seg.reencode(), data) {
+			t.Fatal("accepted input is not canonical")
+		}
+		// Everything the decoder admitted must be iterable without
+		// faults, and iterator output must respect the declared shape.
+		for _, term := range seg.Terms() {
+			it, ok := seg.Postings(term, nil)
+			if !ok {
+				t.Fatalf("dictionary term %q has no postings", term)
+			}
+			n, prev := 0, -1
+			for it.Next() {
+				id := int(it.DocID())
+				if id <= prev || id >= seg.DocCount() {
+					t.Fatalf("term %q: doc %d out of order or range", term, id)
+				}
+				prev = id
+				if it.TF() < 1 {
+					t.Fatalf("term %q doc %d: tf < 1", term, id)
+				}
+				if seg.HasPositions() {
+					if pos := it.Positions(nil); len(pos) != it.TF() {
+						t.Fatalf("term %q doc %d: %d positions, tf %d", term, id, len(pos), it.TF())
+					}
+				}
+				n++
+			}
+			if n != seg.DocFreq(term) {
+				t.Fatalf("term %q: iterated %d docs, df %d", term, n, seg.DocFreq(term))
+			}
+		}
+	})
+}
+
+// FuzzCIFFImport drives arbitrary bytes through the CIFF importer.
+// Accepted inputs must round-trip through export∘import to a fixed
+// point, and import must bound its allocations by the input size, not
+// by declared counts.
+func FuzzCIFFImport(f *testing.F) {
+	if seg, err := BuildSegment(smallDocs()); err == nil {
+		f.Add(ExportCIFF(seg))
+	}
+	if seg, err := BuildSegment(bigDocs(200)); err == nil {
+		f.Add(ExportCIFF(seg))
+	}
+	if seg, err := BuildSegment(nil); err == nil {
+		f.Add(ExportCIFF(seg))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x08, 0xff, 0xff, 0xff, 0xff, 0x0f}) // huge declared counts
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seg, err := ImportCIFF(data)
+		if err != nil {
+			return
+		}
+		ciff := ExportCIFF(seg)
+		seg2, err := ImportCIFF(ciff)
+		if err != nil {
+			t.Fatalf("export of an accepted import does not re-import: %v", err)
+		}
+		if !bytes.Equal(ExportCIFF(seg2), ciff) {
+			t.Fatal("export∘import is not a fixed point")
+		}
+		// The internal form must itself be canonical and storable.
+		if !bytes.Equal(seg.reencode(), seg.Bytes()) {
+			t.Fatal("imported segment is not canonical")
+		}
+		if _, err := DecodeSegment(seg.Bytes()); err != nil {
+			t.Fatalf("imported segment does not decode: %v", err)
+		}
+	})
+}

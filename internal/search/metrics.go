@@ -1,0 +1,64 @@
+package search
+
+import "directload/internal/metrics"
+
+// searchMetrics holds the search.* registry handles. Every handle is a
+// nil-safe no-op when built from a nil registry, so uninstrumented
+// paths stay allocation-free; the struct itself is shared by a service
+// and every snapshot it opens.
+type searchMetrics struct {
+	termLat   *metrics.Histogram // search.query.term.latency_us
+	andLat    *metrics.Histogram // search.query.and.latency_us
+	phraseLat *metrics.Histogram // search.query.phrase.latency_us
+
+	queries       *metrics.Counter // search.query.count
+	queryErrors   *metrics.Counter // search.query.errors
+	blocksScanned *metrics.Counter // search.postings.blocks_scanned
+	blocksSkipped *metrics.Counter // search.postings.blocks_skipped
+	publishes     *metrics.Counter // search.index.publishes
+	snapLoads     *metrics.Counter // search.snapshot.loads
+	snapVersion   *metrics.Gauge   // search.snapshot.version
+}
+
+func newSearchMetrics(reg *metrics.Registry) *searchMetrics {
+	return &searchMetrics{
+		termLat:       reg.Histogram("search.query.term.latency_us"),
+		andLat:        reg.Histogram("search.query.and.latency_us"),
+		phraseLat:     reg.Histogram("search.query.phrase.latency_us"),
+		queries:       reg.Counter("search.query.count"),
+		queryErrors:   reg.Counter("search.query.errors"),
+		blocksScanned: reg.Counter("search.postings.blocks_scanned"),
+		blocksSkipped: reg.Counter("search.postings.blocks_skipped"),
+		publishes:     reg.Counter("search.index.publishes"),
+		snapLoads:     reg.Counter("search.snapshot.loads"),
+		snapVersion:   reg.Gauge("search.snapshot.version"),
+	}
+}
+
+// recordQuery charges one successful query to its class histogram and
+// the postings-block counters. Nil-safe: snapshots without metrics
+// skip everything.
+func (m *searchMetrics) recordQuery(class QueryClass, latencyUs float64, st QueryStats) {
+	if m == nil {
+		return
+	}
+	m.queries.Inc()
+	switch class {
+	case ClassTerm:
+		m.termLat.Observe(latencyUs)
+	case ClassPhrase:
+		m.phraseLat.Observe(latencyUs)
+	default:
+		m.andLat.Observe(latencyUs)
+	}
+	m.blocksScanned.Add(int64(st.BlocksScanned))
+	m.blocksSkipped.Add(int64(st.BlocksSkipped))
+}
+
+// recordError counts one failed query. Nil-safe.
+func (m *searchMetrics) recordError() {
+	if m == nil {
+		return
+	}
+	m.queryErrors.Inc()
+}

@@ -1,0 +1,205 @@
+package search
+
+import "encoding/binary"
+
+// IterStats counts the work one query did against the postings file:
+// blocks whose doc IDs were actually decoded vs blocks skipped whole
+// off their skip-entry header. The ratio is the early-exit win.
+type IterStats struct {
+	BlocksScanned int
+	BlocksSkipped int
+}
+
+// Postings iterates one term's postings list. Segments are fully
+// validated at decode time, so iteration is error-free by construction.
+// A Postings is single-goroutine; create one per query.
+type Postings struct {
+	seg     *Segment
+	data    []byte // whole postings blob
+	off     int    // cursor into data
+	left    int    // blocks not yet opened or skipped
+	prev    int64  // doc-ID predecessor carried across blocks
+	docFreq int
+	stats   *IterStats
+
+	// Current block state.
+	docs    []uint32 // decoded doc IDs
+	idx     int      // index into docs; -1 before the first Next
+	payload []byte   // tf/position bytes, decoded on demand
+	tfs     []uint32
+	posOff  []int // tfs[i]'s positions start at payload[posOff[i]]
+	decoded bool  // payload parsed into tfs/posOff
+}
+
+// Postings returns an iterator over term's postings, or false when the
+// term is not in the dictionary. stats may be nil.
+func (s *Segment) Postings(term string, stats *IterStats) (*Postings, bool) {
+	i, ok := s.findTerm(term)
+	if !ok {
+		return nil, false
+	}
+	if stats == nil {
+		stats = &IterStats{}
+	}
+	p := &Postings{seg: s, data: s.terms[i].postings, prev: -1, idx: -1, docFreq: s.terms[i].docFreq, stats: stats}
+	blocks, n := binary.Uvarint(p.data)
+	p.off = n
+	p.left = int(blocks)
+	return p, true
+}
+
+// DocFreq returns the total number of documents in the list.
+func (p *Postings) DocFreq() int { return p.docFreq }
+
+// header peeks the current block's skip entry without consuming it.
+// Returns the header values and the offset just past the header.
+func (p *Postings) header() (count int, last uint32, docBytes, posBytes, bodyOff int) {
+	off := p.off
+	c, n := binary.Uvarint(p.data[off:])
+	off += n
+	l, n := binary.Uvarint(p.data[off:])
+	off += n
+	db, n := binary.Uvarint(p.data[off:])
+	off += n
+	pb, n := binary.Uvarint(p.data[off:])
+	off += n
+	return int(c), uint32(l), int(db), int(pb), off
+}
+
+// openBlock decodes the next block's doc IDs and stages its payload.
+func (p *Postings) openBlock() {
+	count, _, docBytes, posBytes, off := p.header()
+	p.docs = p.docs[:0]
+	if cap(p.docs) < count {
+		p.docs = make([]uint32, 0, BlockSize)
+	}
+	end := off + docBytes
+	for i := 0; i < count; i++ {
+		gap, n := binary.Uvarint(p.data[off:end])
+		off += n
+		p.prev += int64(gap)
+		p.docs = append(p.docs, uint32(p.prev))
+	}
+	p.payload = p.data[end : end+posBytes]
+	p.off = end + posBytes
+	p.left--
+	p.idx = -1
+	p.decoded = false
+	p.stats.BlocksScanned++
+}
+
+// skipBlock jumps the cursor past the next block without decoding it,
+// keeping the doc-ID predecessor chain intact via the skip entry.
+func (p *Postings) skipBlock() {
+	_, last, docBytes, posBytes, off := p.header()
+	p.prev = int64(last)
+	p.off = off + docBytes + posBytes
+	p.left--
+	p.stats.BlocksSkipped++
+}
+
+// Next advances to the next posting, returning false at the end.
+func (p *Postings) Next() bool {
+	if p.idx+1 < len(p.docs) {
+		p.idx++
+		return true
+	}
+	if p.left == 0 {
+		return false
+	}
+	p.openBlock()
+	p.idx = 0
+	return true
+}
+
+// Advance moves to the first posting with doc ID >= target, skipping
+// whole blocks off their skip entries, and returns false when the list
+// is exhausted first. Advance never moves backwards: a target at or
+// below the current doc ID returns true immediately.
+func (p *Postings) Advance(target uint32) bool {
+	if p.idx >= 0 && p.idx < len(p.docs) && p.docs[p.idx] >= target {
+		return true
+	}
+	// Finish the current block if the target can still live in it.
+	if len(p.docs) > 0 && p.idx < len(p.docs) && p.docs[len(p.docs)-1] >= target {
+		for p.idx+1 < len(p.docs) {
+			p.idx++
+			if p.docs[p.idx] >= target {
+				return true
+			}
+		}
+	}
+	for p.left > 0 {
+		_, last, _, _, _ := p.header()
+		if last < target {
+			p.skipBlock()
+			continue
+		}
+		p.openBlock()
+		for p.idx+1 < len(p.docs) {
+			p.idx++
+			if p.docs[p.idx] >= target {
+				return true
+			}
+		}
+	}
+	// Exhausted: park past the end so DocID cannot be misread.
+	p.idx = len(p.docs)
+	return false
+}
+
+// DocID returns the current posting's document ID. Only valid after a
+// true Next/Advance.
+func (p *Postings) DocID() uint32 { return p.docs[p.idx] }
+
+// decodePayload parses the staged block payload into per-doc tf values
+// and position offsets. Deferred until a query asks for TF or
+// positions, so AND intersections that only touch doc IDs never pay
+// for it.
+func (p *Postings) decodePayload() {
+	p.tfs = p.tfs[:0]
+	p.posOff = p.posOff[:0]
+	off := 0
+	for range p.docs {
+		tf, n := binary.Uvarint(p.payload[off:])
+		off += n
+		p.tfs = append(p.tfs, uint32(tf))
+		p.posOff = append(p.posOff, off)
+		if p.seg.hasPositions {
+			for i := uint64(0); i < tf; i++ {
+				_, n := binary.Uvarint(p.payload[off:])
+				off += n
+			}
+		}
+	}
+	p.decoded = true
+}
+
+// TF returns the current posting's term frequency.
+func (p *Postings) TF() int {
+	if !p.decoded {
+		p.decodePayload()
+	}
+	return int(p.tfs[p.idx])
+}
+
+// Positions appends the current posting's term positions to dst and
+// returns it. Empty (and dst unchanged) when the segment carries no
+// positions.
+func (p *Postings) Positions(dst []uint32) []uint32 {
+	if !p.seg.hasPositions {
+		return dst
+	}
+	if !p.decoded {
+		p.decodePayload()
+	}
+	off := p.posOff[p.idx]
+	prev := int64(-1)
+	for i := 0; i < int(p.tfs[p.idx]); i++ {
+		gap, n := binary.Uvarint(p.payload[off:])
+		off += n
+		prev += int64(gap)
+		dst = append(dst, uint32(prev))
+	}
+	return dst
+}

@@ -1,0 +1,229 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"directload/internal/indexer"
+)
+
+// --- naive full-scan oracle -------------------------------------------------
+
+// oracleDocs mirrors the builder's doc-ID assignment: URL-sorted.
+func oracleDocs(docs []DocInput) []DocInput {
+	sorted := append([]DocInput(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].URL < sorted[j].URL })
+	return sorted
+}
+
+// oracleQuery scans every document for each query class: term
+// membership, conjunction, or consecutive phrase. Results carry the
+// same summed-TF ranking signal as the real engine.
+func oracleQuery(docs []DocInput, class QueryClass, terms []string, limit int) []Result {
+	var out []Result
+	switch class {
+	case ClassTerm:
+		terms = terms[:1]
+	case ClassAnd:
+		terms = dedupTerms(terms)
+	}
+	for id, d := range docs {
+		tf := 0
+		switch class {
+		case ClassTerm, ClassAnd:
+			counts := make(map[string]int)
+			for _, t := range d.Terms {
+				counts[t]++
+			}
+			ok := len(terms) > 0
+			for _, q := range terms {
+				if counts[q] == 0 {
+					ok = false
+					break
+				}
+				tf += counts[q]
+			}
+			if !ok {
+				continue
+			}
+		case ClassPhrase:
+			matches := 0
+			for start := 0; start+len(terms) <= len(d.Terms); start++ {
+				hit := true
+				for k, q := range terms {
+					if d.Terms[start+k] != q {
+						hit = false
+						break
+					}
+				}
+				if hit {
+					matches++
+				}
+			}
+			if matches == 0 {
+				continue
+			}
+			tf = matches
+		}
+		out = append(out, Result{DocID: uint32(id), URL: d.URL, Abstract: d.Abstract, TF: tf})
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// randomCorpus builds a small dense corpus so multi-term conjunctions
+// and phrases actually hit.
+func randomCorpus(rng *rand.Rand, docs, vocab, docTerms int) []DocInput {
+	out := make([]DocInput, docs)
+	for i := range out {
+		n := 1 + rng.Intn(docTerms)
+		terms := make([]string, n)
+		for j := range terms {
+			terms[j] = fmt.Sprintf("t%02d", rng.Intn(vocab))
+		}
+		out[i] = DocInput{
+			URL:      fmt.Sprintf("u/%04d", i),
+			Terms:    terms,
+			Abstract: strings.Join(terms[:min(4, len(terms))], " "),
+		}
+	}
+	return out
+}
+
+// TestQueryMatchesOracle drives randomized corpora through all three
+// query classes and demands exact agreement with the full scan.
+func TestQueryMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		docs := randomCorpus(rng, 20+rng.Intn(120), 2+rng.Intn(18), 1+rng.Intn(30))
+		seg, err := BuildSegment(docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorted := oracleDocs(docs)
+		for q := 0; q < 40; q++ {
+			nTerms := 1 + rng.Intn(3)
+			terms := make([]string, nTerms)
+			for i := range terms {
+				if rng.Intn(4) == 0 && len(sorted) > 0 {
+					// Bias toward terms that exist, sampled from a real doc.
+					d := sorted[rng.Intn(len(sorted))]
+					terms[i] = d.Terms[rng.Intn(len(d.Terms))]
+				} else {
+					terms[i] = fmt.Sprintf("t%02d", rng.Intn(25))
+				}
+			}
+			limit := 0
+			if rng.Intn(3) == 0 {
+				limit = 1 + rng.Intn(5)
+			}
+			for _, class := range []QueryClass{ClassTerm, ClassAnd, ClassPhrase} {
+				var got []Result
+				var err error
+				switch class {
+				case ClassTerm:
+					got, _ = seg.QueryTerm(terms[0], limit)
+				case ClassAnd:
+					got, _, err = seg.QueryAnd(terms, limit)
+				case ClassPhrase:
+					got, _, err = seg.QueryPhrase(terms, limit)
+				}
+				if err != nil {
+					t.Fatalf("trial %d %s %v: %v", trial, class, terms, err)
+				}
+				want := oracleQuery(sorted, class, terms, limit)
+				if !sameResults(got, want) {
+					t.Fatalf("trial %d %s %v (limit %d):\n got %v\nwant %v",
+						trial, class, terms, limit, got, want)
+				}
+			}
+		}
+	}
+}
+
+// sameResults treats nil and empty as equal, everything else exactly.
+func sameResults(a, b []Result) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// TestQueryMatchesOracleOnCrawl runs the oracle comparison over the
+// crawl simulator's corpus — realistic vocabulary skew, multi-block
+// postings for the hot terms.
+func TestQueryMatchesOracleOnCrawl(t *testing.T) {
+	cfg := indexer.DefaultCrawlConfig()
+	cfg.Documents = 400
+	cfg.VocabSize = 150
+	cfg.DocTerms = 40
+	cfg.Seed = 9
+	c, err := indexer.NewCrawler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crawl()
+	docs := FromDocuments(c.Corpus(), 6)
+	seg, err := BuildSegment(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := oracleDocs(docs)
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 60; q++ {
+		terms := make([]string, 1+rng.Intn(3))
+		for i := range terms {
+			terms[i] = fmt.Sprintf("term%05d", rng.Intn(cfg.VocabSize))
+		}
+		got, _, err := seg.QueryAnd(terms, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracleQuery(sorted, ClassAnd, terms, 0); !sameResults(got, want) {
+			t.Fatalf("and %v: got %d hits, want %d", terms, len(got), len(want))
+		}
+		phraseGot, _, err := seg.QueryPhrase(terms, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := oracleQuery(sorted, ClassPhrase, terms, 0); !sameResults(phraseGot, want) {
+			t.Fatalf("phrase %v: got %d hits, want %d", terms, len(phraseGot), len(want))
+		}
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	seg, err := BuildSegment(smallDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := seg.QueryAnd(nil, 0); err == nil {
+		t.Fatal("empty AND must fail")
+	}
+	if res, _, err := seg.QueryAnd([]string{"apple", "nosuch"}, 0); err != nil || len(res) != 0 {
+		t.Fatalf("AND with a missing term: %v, %v", res, err)
+	}
+	// Duplicate terms collapse: "apple apple" == "apple".
+	a, _, err := seg.QueryAnd([]string{"apple", "apple"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := seg.QueryTerm("apple", 0)
+	if !sameResults(a, b) {
+		t.Fatalf("dup-term AND %v != term %v", a, b)
+	}
+	// Phrase across two docs: "apple banana" only in u/a.
+	ph, _, err := seg.QueryPhrase([]string{"apple", "banana"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph) != 1 || ph[0].URL != "u/a" {
+		t.Fatalf("phrase hits = %v", ph)
+	}
+}

@@ -1,0 +1,248 @@
+package search
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// maxIngestBody caps REST ingest/import request bodies.
+const maxIngestBody = 256 << 20
+
+// NewHandler serves the index-lifecycle REST surface. internal/ops
+// mounts it at /index; paths follow the ops text-first convention
+// (human-readable default, ?format=json for machines):
+//
+//	GET  /index                 list indexes
+//	POST /index/{name}          create an empty index
+//	POST /index/{name}/ingest   publish a new version; body is a JSON
+//	                            array of {url, terms[, abstract]} or
+//	                            text lines "url term term ..."
+//	GET  /index/{name}/query    q=<terms> mode=term|and|phrase
+//	                            version=N pins, limit=N caps results
+//	GET  /index/{name}/export   CIFF stream (version=N pins)
+//	POST /index/{name}/import   publish a new version from a CIFF body
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	h := &restHandler{svc: svc}
+	mux.HandleFunc("GET /index", h.list)
+	mux.HandleFunc("GET /index/{$}", h.list)
+	mux.HandleFunc("POST /index/{name}", h.create)
+	mux.HandleFunc("POST /index/{name}/ingest", h.ingest)
+	mux.HandleFunc("GET /index/{name}/query", h.query)
+	mux.HandleFunc("GET /index/{name}/export", h.export)
+	mux.HandleFunc("POST /index/{name}/import", h.importCIFF)
+	return mux
+}
+
+type restHandler struct {
+	svc *Service
+}
+
+// fail maps service errors onto HTTP statuses.
+func fail(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	msg := err.Error()
+	switch {
+	case errors.Is(err, ErrBadSegment), errors.Is(err, ErrBadCIFF),
+		errors.Is(err, ErrEmptyQuery), errors.Is(err, ErrUnknownClass),
+		errors.Is(err, ErrDocOrder), errors.Is(err, ErrNoPositions):
+		status = http.StatusBadRequest
+	case strings.Contains(msg, "unknown index"), strings.Contains(msg, "no published version"),
+		strings.Contains(msg, "not found"):
+		status = http.StatusNotFound
+	case strings.Contains(msg, "already exists"):
+		status = http.StatusConflict
+	case strings.Contains(msg, "index name"):
+		status = http.StatusBadRequest
+	}
+	http.Error(w, msg, status)
+}
+
+func wantJSON(r *http.Request) bool { return r.URL.Query().Get("format") == "json" }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (h *restHandler) list(w http.ResponseWriter, r *http.Request) {
+	infos := h.svc.List()
+	if wantJSON(r) {
+		writeJSON(w, infos)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(infos) == 0 {
+		fmt.Fprintln(w, "no indexes")
+		return
+	}
+	for _, in := range infos {
+		fmt.Fprintf(w, "%-20s v=%-4d docs=%-8d terms=%-8d bytes=%-10d positions=%v\n",
+			in.Name, in.Version, in.Docs, in.Terms, in.Bytes, in.HasPositions)
+	}
+}
+
+func (h *restHandler) create(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := h.svc.Create(name); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintf(w, "created %s\n", name)
+}
+
+// parseDocs reads an ingest body: JSON array of DocInput when the
+// content type says JSON (or the body leads with '['), else text lines
+// of "url term term ...".
+func parseDocs(r *http.Request) ([]DocInput, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxIngestBody))
+	if err != nil {
+		return nil, fmt.Errorf("search: reading ingest body: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(body))
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "json") || strings.HasPrefix(trimmed, "[") {
+		var docs []DocInput
+		if err := json.Unmarshal(body, &docs); err != nil {
+			return nil, fmt.Errorf("%w: ingest JSON: %v", ErrBadSegment, err)
+		}
+		return docs, nil
+	}
+	var docs []DocInput
+	for _, line := range strings.Split(trimmed, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		d := DocInput{URL: fields[0], Terms: fields[1:]}
+		if len(d.Terms) > 0 {
+			d.Abstract = strings.Join(d.Terms[:min(8, len(d.Terms))], " ")
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+func (h *restHandler) ingest(w http.ResponseWriter, r *http.Request) {
+	docs, err := parseDocs(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if len(docs) == 0 {
+		fail(w, fmt.Errorf("%w: ingest body has no documents", ErrEmptyQuery))
+		return
+	}
+	info, err := h.svc.Ingest(r.PathValue("name"), docs)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if wantJSON(r) {
+		writeJSON(w, info)
+		return
+	}
+	fmt.Fprintf(w, "published %s v=%d docs=%d terms=%d bytes=%d\n",
+		info.Name, info.Version, info.Docs, info.Terms, info.Bytes)
+}
+
+// queryResponse is the JSON query envelope.
+type queryResponse struct {
+	Index   string     `json:"index"`
+	Version uint64     `json:"version"`
+	Class   QueryClass `json:"class"`
+	Terms   []string   `json:"terms"`
+	Stats   QueryStats `json:"stats"`
+	Hits    []Result   `json:"hits"`
+}
+
+func (h *restHandler) query(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	terms := ParseQuery(q.Get("q"))
+	class, err := ParseQueryClass(q.Get("mode"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if class == ClassAnd && len(terms) == 1 {
+		class = ClassTerm // single-term AND is a term lookup
+	}
+	var version uint64
+	if v := q.Get("version"); v != "" {
+		if version, err = strconv.ParseUint(v, 10, 64); err != nil {
+			fail(w, fmt.Errorf("%w: version %q", ErrBadSegment, v))
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil {
+			fail(w, fmt.Errorf("%w: limit %q", ErrBadSegment, v))
+			return
+		}
+	}
+	res, stats, served, err := h.svc.Query(r.Context(), r.PathValue("name"), version, class, terms, limit)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if wantJSON(r) {
+		writeJSON(w, queryResponse{
+			Index: r.PathValue("name"), Version: served, Class: class,
+			Terms: terms, Stats: stats, Hits: res,
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, hit := range res {
+		fmt.Fprintf(w, "%-28s tf=%-4d %s\n", hit.URL, hit.TF, hit.Abstract)
+	}
+	fmt.Fprintf(w, "# %d hits  %s %v  v=%d  blocks scanned=%d skipped=%d\n",
+		len(res), class, terms, served, stats.BlocksScanned, stats.BlocksSkipped)
+}
+
+func (h *restHandler) export(w http.ResponseWriter, r *http.Request) {
+	var version uint64
+	if v := r.URL.Query().Get("version"); v != "" {
+		var err error
+		if version, err = strconv.ParseUint(v, 10, 64); err != nil {
+			fail(w, fmt.Errorf("%w: version %q", ErrBadSegment, v))
+			return
+		}
+	}
+	ciff, err := h.svc.ExportSegment(r.PathValue("name"), version)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(ciff)))
+	_, _ = w.Write(ciff)
+}
+
+func (h *restHandler) importCIFF(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, maxIngestBody))
+	if err != nil {
+		fail(w, fmt.Errorf("search: reading import body: %w", err))
+		return
+	}
+	info, err := h.svc.ImportSegment(r.PathValue("name"), body)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if wantJSON(r) {
+		writeJSON(w, info)
+		return
+	}
+	fmt.Fprintf(w, "imported %s v=%d docs=%d terms=%d bytes=%d\n",
+		info.Name, info.Version, info.Docs, info.Terms, info.Bytes)
+}

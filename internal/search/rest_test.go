@@ -1,0 +1,178 @@
+package search
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newRESTServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(NewService(NewMemEngine(), nil)))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func do(t *testing.T, method, url, contentType string, body []byte) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.String()
+}
+
+func TestRESTLifecycle(t *testing.T) {
+	srv := newRESTServer(t)
+
+	resp, body := do(t, "GET", srv.URL+"/index", "", nil)
+	if resp.StatusCode != 200 || !strings.Contains(body, "no indexes") {
+		t.Fatalf("empty list: %d %q", resp.StatusCode, body)
+	}
+	resp, _ = do(t, "POST", srv.URL+"/index/web", "", nil)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "POST", srv.URL+"/index/web", "", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create: %d", resp.StatusCode)
+	}
+	resp, _ = do(t, "POST", srv.URL+"/index/bad%20name", "", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad name create: %d", resp.StatusCode)
+	}
+
+	// Text ingest: one doc per line.
+	text := "u/a apple banana\nu/b banana banana date\nu/c cherry apple cherry\n"
+	resp, body = do(t, "POST", srv.URL+"/index/web/ingest", "text/plain", []byte(text))
+	if resp.StatusCode != 200 || !strings.Contains(body, "v=1") {
+		t.Fatalf("text ingest: %d %q", resp.StatusCode, body)
+	}
+
+	// JSON ingest bumps the version.
+	docs := []DocInput{{URL: "u/z", Terms: []string{"zebra"}, Abstract: "zebra"}}
+	js, _ := json.Marshal(docs)
+	resp, body = do(t, "POST", srv.URL+"/index/web/ingest?format=json", "application/json", js)
+	if resp.StatusCode != 200 {
+		t.Fatalf("json ingest: %d %q", resp.StatusCode, body)
+	}
+	var info IndexInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil || info.Version != 2 || info.Docs != 1 {
+		t.Fatalf("json ingest info: %+v, %v", info, err)
+	}
+
+	// Text query against the pinned first version.
+	resp, body = do(t, "GET", srv.URL+"/index/web/query?q=banana&version=1", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("query: %d %q", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "u/a") || !strings.Contains(body, "u/b") || !strings.Contains(body, "# 2 hits") {
+		t.Fatalf("query body:\n%s", body)
+	}
+
+	// JSON query, phrase mode, latest version.
+	resp, body = do(t, "GET", srv.URL+"/index/web/query?q=zebra&mode=term&format=json", "", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("json query: %d %q", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal([]byte(body), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Version != 2 || len(qr.Hits) != 1 || qr.Hits[0].URL != "u/z" {
+		t.Fatalf("json query response: %+v", qr)
+	}
+
+	// Listing shows the latest state.
+	resp, body = do(t, "GET", srv.URL+"/index/?format=json", "", nil)
+	var infos []IndexInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil || len(infos) != 1 || infos[0].Version != 2 {
+		t.Fatalf("list: %d %q (%v)", resp.StatusCode, body, err)
+	}
+}
+
+func TestRESTExportImportRoundTrip(t *testing.T) {
+	srv := newRESTServer(t)
+	text := "u/a apple banana\nu/b banana date\n"
+	if resp, body := do(t, "POST", srv.URL+"/index/src/ingest", "", []byte(text)); resp.StatusCode != 200 {
+		t.Fatalf("ingest: %d %q", resp.StatusCode, body)
+	}
+	resp, ciff := do(t, "GET", srv.URL+"/index/src/export", "", nil)
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "application/octet-stream" {
+		t.Fatalf("export: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	resp, body := do(t, "POST", srv.URL+"/index/copy/import?format=json", "application/octet-stream", []byte(ciff))
+	if resp.StatusCode != 200 {
+		t.Fatalf("import: %d %q", resp.StatusCode, body)
+	}
+	var info IndexInfo
+	if err := json.Unmarshal([]byte(body), &info); err != nil || info.Docs != 2 || info.HasPositions {
+		t.Fatalf("import info: %+v, %v", info, err)
+	}
+	// The copy answers term queries identically (minus abstracts).
+	_, got := do(t, "GET", srv.URL+"/index/copy/query?q=banana&format=json", "", nil)
+	var qr queryResponse
+	if err := json.Unmarshal([]byte(got), &qr); err != nil || len(qr.Hits) != 2 {
+		t.Fatalf("copy query: %q (%v)", got, err)
+	}
+	// Re-export is byte-identical (CIFF canonical form).
+	_, ciff2 := do(t, "GET", srv.URL+"/index/copy/export", "", nil)
+	if ciff2 != ciff {
+		t.Fatal("re-export differs")
+	}
+}
+
+func TestRESTErrors(t *testing.T) {
+	srv := newRESTServer(t)
+	cases := []struct {
+		method, path string
+		body         string
+		want         int
+	}{
+		{"GET", "/index/nosuch/query?q=x", "", http.StatusNotFound},
+		{"GET", "/index/nosuch/export", "", http.StatusNotFound},
+		{"POST", "/index/web/ingest", "", http.StatusBadRequest},
+		{"POST", "/index/web/import", "garbage", http.StatusBadRequest},
+		{"GET", "/index/web/query?q=", "", http.StatusNotFound}, // index not created yet
+	}
+	for _, c := range cases {
+		resp, body := do(t, c.method, srv.URL+c.path, "", []byte(c.body))
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s: got %d (%q), want %d", c.method, c.path, resp.StatusCode, body, c.want)
+		}
+	}
+	// Created but never published: query is 404, empty query on a
+	// published index is 400.
+	do(t, "POST", srv.URL+"/index/web", "", nil)
+	if resp, _ := do(t, "GET", srv.URL+"/index/web/query?q=x", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unpublished query: %d", resp.StatusCode)
+	}
+	do(t, "POST", srv.URL+"/index/web/ingest", "", []byte("u/a apple\n"))
+	if resp, _ := do(t, "GET", srv.URL+"/index/web/query?q=", "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty query: %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/index/web/query?q=x&mode=bogus", "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad mode: %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/index/web/query?q=x&version=zap", "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad version: %d", resp.StatusCode)
+	}
+	if resp, _ := do(t, "GET", srv.URL+"/index/web/query?q=a+b&mode=phrase&version=99", "", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing version: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,564 @@
+// Package search is the query-serving side of the index system: it
+// turns the corpora built by internal/indexer into immutable,
+// block-compressed postings segments, stores them as versioned engine
+// values (chunked, checksummed), and executes term, conjunctive-AND and
+// phrase queries against a Snapshot pinned to one sealed version — so
+// queries keep returning identical results while the next version
+// publishes (DESIGN.md §14). Segments round-trip to other engines
+// through the Common Index File Format (ciff.go).
+//
+// The serialized segment is canonical: every integer is a minimal
+// uvarint, doc IDs and positions are strictly-increasing gap codes,
+// terms and URLs are sorted, and every declared length is exact.
+// DecodeSegment enforces all of it, which is what makes the fuzzers'
+// decode→re-encode equality property hold.
+package search
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"directload/internal/indexer"
+)
+
+// BlockSize is the number of doc IDs per postings block. Every block of
+// a postings list except the last is full, so a skip over one block
+// header jumps exactly BlockSize documents.
+const BlockSize = 128
+
+// segMagic brands a serialized segment.
+var segMagic = []byte("DLS1")
+
+// Format errors.
+var (
+	ErrBadSegment   = errors.New("search: malformed segment")
+	ErrNoPositions  = errors.New("search: segment has no positions (CIFF imports drop them); phrase queries need a locally built index")
+	ErrEmptyQuery   = errors.New("search: empty query")
+	ErrDocOrder     = errors.New("search: documents must have unique, non-empty URLs")
+	ErrUnknownClass = errors.New("search: unknown query class")
+)
+
+// DocInput is one document offered to the segment builder.
+type DocInput struct {
+	URL      string   `json:"url"`
+	Terms    []string `json:"terms"`
+	Abstract string   `json:"abstract,omitempty"`
+}
+
+// FromDocuments adapts a crawled corpus into builder inputs, deriving
+// each abstract from the document's first abstractTerms terms (the same
+// summary the paper's summary index stores).
+func FromDocuments(docs []indexer.Document, abstractTerms int) []DocInput {
+	out := make([]DocInput, len(docs))
+	for i, d := range docs {
+		out[i] = DocInput{URL: d.URL, Terms: d.Terms, Abstract: d.Abstract(abstractTerms)}
+	}
+	return out
+}
+
+// DocEntry is one entry of the segment's doc store: the URL, the stored
+// abstract, and the document length in terms (needed by CIFF export and
+// by the position bounds check).
+type DocEntry struct {
+	URL      string
+	Abstract string
+	Len      int
+}
+
+// termEntry is one term dictionary row; postings aliases the raw
+// segment buffer.
+type termEntry struct {
+	term     string
+	docFreq  int
+	postings []byte
+}
+
+// Segment is an immutable decoded postings segment. All methods are
+// safe for concurrent use: nothing mutates after construction.
+type Segment struct {
+	raw          []byte
+	hasPositions bool
+	docs         []DocEntry
+	terms        []termEntry
+}
+
+// DocCount returns the number of documents in the segment.
+func (s *Segment) DocCount() int { return len(s.docs) }
+
+// TermCount returns the number of distinct terms.
+func (s *Segment) TermCount() int { return len(s.terms) }
+
+// HasPositions reports whether postings carry term positions (locally
+// built segments do; CIFF imports do not).
+func (s *Segment) HasPositions() bool { return s.hasPositions }
+
+// Bytes returns the canonical serialized form. Callers must not mutate
+// the returned slice.
+func (s *Segment) Bytes() []byte { return s.raw }
+
+// Doc returns the doc-store entry for a doc ID.
+func (s *Segment) Doc(id uint32) DocEntry { return s.docs[id] }
+
+// Terms returns the sorted dictionary terms.
+func (s *Segment) Terms() []string {
+	out := make([]string, len(s.terms))
+	for i, t := range s.terms {
+		out[i] = t.term
+	}
+	return out
+}
+
+// DocFreq returns the term's document frequency (0 when absent).
+func (s *Segment) DocFreq(term string) int {
+	if i, ok := s.findTerm(term); ok {
+		return s.terms[i].docFreq
+	}
+	return 0
+}
+
+func (s *Segment) findTerm(term string) (int, bool) {
+	i := sort.Search(len(s.terms), func(i int) bool { return s.terms[i].term >= term })
+	if i < len(s.terms) && s.terms[i].term == term {
+		return i, true
+	}
+	return 0, false
+}
+
+// --- building ---------------------------------------------------------------
+
+// docPosting is one (doc, positions) pair accumulated by the builder.
+type docPosting struct {
+	docID     uint32
+	tf        uint32   // term frequency; used only when positions are absent
+	positions []uint32 // strictly increasing term indexes
+}
+
+// BuildSegment builds a canonical segment from documents. Documents are
+// sorted by URL (the segment's doc-ID order); duplicate or empty URLs
+// are rejected. Positions are the term indexes within each document, so
+// phrase queries work out of the box.
+func BuildSegment(docs []DocInput) (*Segment, error) {
+	sorted := append([]DocInput(nil), docs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].URL < sorted[j].URL })
+	for i, d := range sorted {
+		if d.URL == "" || (i > 0 && sorted[i-1].URL == d.URL) {
+			return nil, fmt.Errorf("%w: %q", ErrDocOrder, d.URL)
+		}
+	}
+	postings := make(map[string][]docPosting)
+	for id, d := range sorted {
+		seen := make(map[string]int, len(d.Terms)) // term -> index into postings[term] for this doc
+		for pos, t := range d.Terms {
+			if t == "" {
+				return nil, fmt.Errorf("%w: empty term in %q", ErrBadSegment, d.URL)
+			}
+			lst := postings[t]
+			if i, ok := seen[t]; ok {
+				lst[i].positions = append(lst[i].positions, uint32(pos))
+				continue
+			}
+			seen[t] = len(lst)
+			postings[t] = append(lst, docPosting{docID: uint32(id), positions: []uint32{uint32(pos)}})
+		}
+	}
+	terms := make([]string, 0, len(postings))
+	for t := range postings {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+
+	var buf []byte
+	buf = append(buf, segMagic...)
+	buf = binary.AppendUvarint(buf, 1) // flags: bit0 = hasPositions
+	buf = binary.AppendUvarint(buf, uint64(len(sorted)))
+	for _, d := range sorted {
+		buf = binary.AppendUvarint(buf, uint64(len(d.URL)))
+		buf = append(buf, d.URL...)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Abstract)))
+		buf = append(buf, d.Abstract...)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Terms)))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(terms)))
+	var scratch []byte
+	for _, t := range terms {
+		lst := postings[t]
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		buf = append(buf, t...)
+		buf = binary.AppendUvarint(buf, uint64(len(lst)))
+		scratch = encodePostings(scratch[:0], lst, true)
+		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+		buf = append(buf, scratch...)
+	}
+	return DecodeSegment(buf)
+}
+
+// buildFromPostings assembles a segment from already-inverted postings
+// (the CIFF import path: tf only, no positions). docs are in doc-ID
+// order, terms sorted ascending; lists maps each term to its (docID,
+// tf) postings in doc-ID order.
+func buildFromPostings(docs []DocEntry, terms []string, lists map[string][]ciffPosting) (*Segment, error) {
+	var buf []byte
+	buf = append(buf, segMagic...)
+	buf = binary.AppendUvarint(buf, 0) // no positions
+	buf = binary.AppendUvarint(buf, uint64(len(docs)))
+	for _, d := range docs {
+		buf = binary.AppendUvarint(buf, uint64(len(d.URL)))
+		buf = append(buf, d.URL...)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Abstract)))
+		buf = append(buf, d.Abstract...)
+		buf = binary.AppendUvarint(buf, uint64(d.Len))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(terms)))
+	var scratch []byte
+	for _, t := range terms {
+		lst := lists[t]
+		dps := make([]docPosting, len(lst))
+		for i, p := range lst {
+			dps[i] = docPosting{docID: p.docID, tf: uint32(p.tf)}
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(t)))
+		buf = append(buf, t...)
+		buf = binary.AppendUvarint(buf, uint64(len(lst)))
+		scratch = encodePostings(scratch[:0], dps, false)
+		buf = binary.AppendUvarint(buf, uint64(len(scratch)))
+		buf = append(buf, scratch...)
+	}
+	return DecodeSegment(buf)
+}
+
+// encodePostings appends the block-compressed postings list: full
+// BlockSize blocks of doc-ID gaps with a (count, last, docBytes,
+// posBytes) skip header, followed by the per-doc tf (and position gaps
+// when withPositions).
+func encodePostings(dst []byte, lst []docPosting, withPositions bool) []byte {
+	blocks := (len(lst) + BlockSize - 1) / BlockSize
+	dst = binary.AppendUvarint(dst, uint64(blocks))
+	prev := int64(-1)
+	var docBuf, posBuf []byte
+	for b := 0; b < blocks; b++ {
+		docBuf, posBuf = docBuf[:0], posBuf[:0]
+		lo, hi := b*BlockSize, (b+1)*BlockSize
+		if hi > len(lst) {
+			hi = len(lst)
+		}
+		for _, p := range lst[lo:hi] {
+			docBuf = binary.AppendUvarint(docBuf, uint64(int64(p.docID)-prev))
+			prev = int64(p.docID)
+			tf := uint64(p.tf)
+			if withPositions {
+				tf = uint64(len(p.positions))
+			}
+			posBuf = binary.AppendUvarint(posBuf, tf)
+			if withPositions {
+				pp := int64(-1)
+				for _, pos := range p.positions {
+					posBuf = binary.AppendUvarint(posBuf, uint64(int64(pos)-pp))
+					pp = int64(pos)
+				}
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(hi-lo))
+		dst = binary.AppendUvarint(dst, uint64(lst[hi-1].docID))
+		dst = binary.AppendUvarint(dst, uint64(len(docBuf)))
+		dst = binary.AppendUvarint(dst, uint64(len(posBuf)))
+		dst = append(dst, docBuf...)
+		dst = append(dst, posBuf...)
+	}
+	return dst
+}
+
+// --- decoding ---------------------------------------------------------------
+
+// segReader is a bounds-checked cursor over untrusted bytes. Every
+// uvarint must be minimally encoded and every length fit the remaining
+// input, so allocation is bounded by the input size.
+type segReader struct {
+	b   []byte
+	off int
+}
+
+func (r *segReader) remaining() int { return len(r.b) - r.off }
+
+func (r *segReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated or oversized varint at %d", ErrBadSegment, r.off)
+	}
+	if n > 1 && v < 1<<uint(7*(n-1)) {
+		return 0, fmt.Errorf("%w: non-minimal varint at %d", ErrBadSegment, r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// intLen reads a uvarint meant to size an allocation and rejects it
+// when it cannot possibly fit the remaining input.
+func (r *segReader) intLen(what string) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(r.remaining()) {
+		return 0, fmt.Errorf("%w: %s length %d exceeds %d remaining bytes", ErrBadSegment, what, v, r.remaining())
+	}
+	return int(v), nil
+}
+
+func (r *segReader) bytes(n int) ([]byte, error) {
+	if n > r.remaining() {
+		return nil, fmt.Errorf("%w: truncated at %d", ErrBadSegment, r.off)
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+// DecodeSegment parses and fully validates a serialized segment: block
+// structure, gap monotonicity, exact declared lengths, sorted terms and
+// URLs, minimal varints. The returned segment aliases data; callers
+// must not mutate it. Successful decodes are canonical: re-serializing
+// the parsed structure reproduces data byte-for-byte.
+func DecodeSegment(data []byte) (*Segment, error) {
+	r := &segReader{b: data}
+	magic, err := r.bytes(len(segMagic))
+	if err != nil || string(magic) != string(segMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSegment)
+	}
+	flags, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrBadSegment, flags)
+	}
+	s := &Segment{raw: data, hasPositions: flags&1 != 0}
+	docCount, err := r.intLen("doc table")
+	if err != nil {
+		return nil, err
+	}
+	s.docs = make([]DocEntry, docCount)
+	for i := range s.docs {
+		n, err := r.intLen("url")
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%w: empty URL at doc %d", ErrBadSegment, i)
+		}
+		url, err := r.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && s.docs[i-1].URL >= string(url) {
+			return nil, fmt.Errorf("%w: URLs not strictly ascending at doc %d", ErrBadSegment, i)
+		}
+		if n, err = r.intLen("abstract"); err != nil {
+			return nil, err
+		}
+		abs, err := r.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		dl, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if dl > 1<<31 {
+			return nil, fmt.Errorf("%w: doc length %d out of range", ErrBadSegment, dl)
+		}
+		s.docs[i] = DocEntry{URL: string(url), Abstract: string(abs), Len: int(dl)}
+	}
+	termCount, err := r.intLen("term dictionary")
+	if err != nil {
+		return nil, err
+	}
+	s.terms = make([]termEntry, termCount)
+	for i := range s.terms {
+		n, err := r.intLen("term")
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("%w: empty term at %d", ErrBadSegment, i)
+		}
+		term, err := r.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 && s.terms[i-1].term >= string(term) {
+			return nil, fmt.Errorf("%w: terms not strictly ascending at %d", ErrBadSegment, i)
+		}
+		df, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if df == 0 || df > uint64(docCount) {
+			return nil, fmt.Errorf("%w: term %q docFreq %d out of range", ErrBadSegment, term, df)
+		}
+		if n, err = r.intLen("postings"); err != nil {
+			return nil, err
+		}
+		postings, err := r.bytes(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.validatePostings(postings, int(df)); err != nil {
+			return nil, fmt.Errorf("term %q: %w", term, err)
+		}
+		s.terms[i] = termEntry{term: string(term), docFreq: int(df), postings: postings}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSegment, r.remaining())
+	}
+	return s, nil
+}
+
+// validatePostings walks one postings blob end to end, enforcing every
+// canonical-form invariant the iterator later relies on (so iteration
+// itself never has to handle errors).
+func (s *Segment) validatePostings(blob []byte, docFreq int) error {
+	r := &segReader{b: blob}
+	blocks, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	wantBlocks := (docFreq + BlockSize - 1) / BlockSize
+	if int(blocks) != wantBlocks {
+		return fmt.Errorf("%w: %d blocks for docFreq %d (want %d)", ErrBadSegment, blocks, docFreq, wantBlocks)
+	}
+	prev := int64(-1)
+	total := 0
+	for b := 0; b < int(blocks); b++ {
+		count, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		last, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		docBytesU, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		posBytesU, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if docBytesU > uint64(r.remaining()) || posBytesU > uint64(r.remaining()) ||
+			docBytesU+posBytesU > uint64(r.remaining()) {
+			return fmt.Errorf("%w: block %d declares %d body bytes, %d remain", ErrBadSegment, b, docBytesU+posBytesU, r.remaining())
+		}
+		docBytes, posBytes := int(docBytesU), int(posBytesU)
+		full := b < int(blocks)-1
+		if (full && count != BlockSize) || count == 0 || count > BlockSize {
+			return fmt.Errorf("%w: block %d count %d", ErrBadSegment, b, count)
+		}
+		dr := &segReader{b: blob[r.off : r.off+docBytes]}
+		blockDocs := make([]uint32, 0, count)
+		for i := 0; i < int(count); i++ {
+			gap, err := dr.uvarint()
+			if err != nil {
+				return err
+			}
+			if gap == 0 {
+				return fmt.Errorf("%w: zero doc-ID gap", ErrBadSegment)
+			}
+			prev += int64(gap)
+			if prev >= int64(len(s.docs)) {
+				return fmt.Errorf("%w: doc ID %d beyond doc count %d", ErrBadSegment, prev, len(s.docs))
+			}
+			blockDocs = append(blockDocs, uint32(prev))
+		}
+		if dr.remaining() != 0 {
+			return fmt.Errorf("%w: doc block over-declared by %d bytes", ErrBadSegment, dr.remaining())
+		}
+		if uint64(prev) != last {
+			return fmt.Errorf("%w: block %d skip entry says last=%d, actual %d", ErrBadSegment, b, last, prev)
+		}
+		r.off += docBytes
+		pr := &segReader{b: blob[r.off : r.off+posBytes]}
+		for _, docID := range blockDocs {
+			tf, err := pr.uvarint()
+			if err != nil {
+				return err
+			}
+			if tf == 0 {
+				return fmt.Errorf("%w: zero tf", ErrBadSegment)
+			}
+			if s.hasPositions {
+				if tf > uint64(s.docs[docID].Len) {
+					return fmt.Errorf("%w: tf %d exceeds doc length %d", ErrBadSegment, tf, s.docs[docID].Len)
+				}
+				pp := int64(-1)
+				for i := 0; i < int(tf); i++ {
+					gap, err := pr.uvarint()
+					if err != nil {
+						return err
+					}
+					if gap == 0 {
+						return fmt.Errorf("%w: zero position gap", ErrBadSegment)
+					}
+					pp += int64(gap)
+				}
+				if pp >= int64(s.docs[docID].Len) {
+					return fmt.Errorf("%w: position %d beyond doc length %d", ErrBadSegment, pp, s.docs[docID].Len)
+				}
+			}
+		}
+		if pr.remaining() != 0 {
+			return fmt.Errorf("%w: payload block over-declared by %d bytes", ErrBadSegment, pr.remaining())
+		}
+		r.off += posBytes
+		total += int(count)
+	}
+	if total != docFreq {
+		return fmt.Errorf("%w: %d postings for declared docFreq %d", ErrBadSegment, total, docFreq)
+	}
+	if r.remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing postings bytes", ErrBadSegment, r.remaining())
+	}
+	return nil
+}
+
+// reencode re-serializes the decoded structure from scratch. Used by
+// the fuzz harness to prove decode canonicality; postings blobs are
+// re-emitted verbatim because validatePostings already pinned their
+// byte-level form.
+func (s *Segment) reencode() []byte {
+	var buf []byte
+	buf = append(buf, segMagic...)
+	var flags uint64
+	if s.hasPositions {
+		flags = 1
+	}
+	buf = binary.AppendUvarint(buf, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(s.docs)))
+	for _, d := range s.docs {
+		buf = binary.AppendUvarint(buf, uint64(len(d.URL)))
+		buf = append(buf, d.URL...)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Abstract)))
+		buf = append(buf, d.Abstract...)
+		buf = binary.AppendUvarint(buf, uint64(d.Len))
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(s.terms)))
+	for _, t := range s.terms {
+		buf = binary.AppendUvarint(buf, uint64(len(t.term)))
+		buf = append(buf, t.term...)
+		buf = binary.AppendUvarint(buf, uint64(t.docFreq))
+		buf = binary.AppendUvarint(buf, uint64(len(t.postings)))
+		buf = append(buf, t.postings...)
+	}
+	return buf
+}
+
+// String summarizes the segment for logs.
+func (s *Segment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "segment{docs=%d terms=%d bytes=%d positions=%v}",
+		len(s.docs), len(s.terms), len(s.raw), s.hasPositions)
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package search
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"directload/internal/indexer"
+)
+
+// smallDocs is a hand-written corpus whose posting lists are easy to
+// reason about.
+func smallDocs() []DocInput {
+	return []DocInput{
+		{URL: "u/c", Terms: []string{"cherry", "apple", "cherry"}, Abstract: "cherry apple"},
+		{URL: "u/a", Terms: []string{"apple", "banana"}, Abstract: "apple banana"},
+		{URL: "u/b", Terms: []string{"banana", "banana", "date"}, Abstract: "banana"},
+	}
+}
+
+func TestBuildSegmentBasics(t *testing.T) {
+	seg, err := BuildSegment(smallDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.DocCount() != 3 {
+		t.Fatalf("DocCount = %d, want 3", seg.DocCount())
+	}
+	// Doc IDs follow URL order: u/a=0, u/b=1, u/c=2.
+	if got := seg.Doc(0).URL; got != "u/a" {
+		t.Fatalf("doc 0 = %q, want u/a", got)
+	}
+	if !seg.HasPositions() {
+		t.Fatal("locally built segment must carry positions")
+	}
+	wantDF := map[string]int{"apple": 2, "banana": 2, "cherry": 1, "date": 1}
+	if seg.TermCount() != len(wantDF) {
+		t.Fatalf("TermCount = %d, want %d", seg.TermCount(), len(wantDF))
+	}
+	for term, df := range wantDF {
+		if got := seg.DocFreq(term); got != df {
+			t.Errorf("DocFreq(%q) = %d, want %d", term, got, df)
+		}
+	}
+	if seg.DocFreq("elderberry") != 0 {
+		t.Error("absent term must have DocFreq 0")
+	}
+	// cherry appears twice in u/c (doc 2) at positions 0 and 2.
+	it, ok := seg.Postings("cherry", nil)
+	if !ok || !it.Next() {
+		t.Fatal("cherry postings missing")
+	}
+	if it.DocID() != 2 || it.TF() != 2 {
+		t.Fatalf("cherry posting = (doc %d, tf %d), want (2, 2)", it.DocID(), it.TF())
+	}
+	if pos := it.Positions(nil); len(pos) != 2 || pos[0] != 0 || pos[1] != 2 {
+		t.Fatalf("cherry positions = %v, want [0 2]", pos)
+	}
+	if it.Next() {
+		t.Fatal("cherry has only one posting")
+	}
+}
+
+func TestBuildSegmentRejectsBadDocs(t *testing.T) {
+	if _, err := BuildSegment([]DocInput{{URL: "", Terms: []string{"a"}}}); !errors.Is(err, ErrDocOrder) {
+		t.Fatalf("empty URL: got %v, want ErrDocOrder", err)
+	}
+	dup := []DocInput{{URL: "u", Terms: []string{"a"}}, {URL: "u", Terms: []string{"b"}}}
+	if _, err := BuildSegment(dup); !errors.Is(err, ErrDocOrder) {
+		t.Fatalf("duplicate URL: got %v, want ErrDocOrder", err)
+	}
+	if _, err := BuildSegment([]DocInput{{URL: "u", Terms: []string{"a", ""}}}); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("empty term: got %v, want ErrBadSegment", err)
+	}
+}
+
+func TestDecodeSegmentCanonical(t *testing.T) {
+	seg, err := BuildSegment(smallDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seg.Bytes(), seg.reencode()) {
+		t.Fatal("decode→re-encode is not byte-identical")
+	}
+	// Any flipped byte must fail decode or decode to the same canonical
+	// form — never to a segment whose re-encode differs from its input.
+	raw := seg.Bytes()
+	for i := 0; i < len(raw); i += 7 {
+		mut := append([]byte(nil), raw...)
+		mut[i] ^= 0x40
+		if s2, err := DecodeSegment(mut); err == nil {
+			if !bytes.Equal(s2.reencode(), mut) {
+				t.Fatalf("byte %d: accepted non-canonical input", i)
+			}
+		}
+	}
+}
+
+func TestDecodeSegmentRejectsTruncation(t *testing.T) {
+	seg, err := BuildSegment(smallDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := seg.Bytes()
+	for n := 0; n < len(raw); n++ {
+		if _, err := DecodeSegment(raw[:n]); err == nil {
+			t.Fatalf("decode accepted a %d-byte prefix of a %d-byte segment", n, len(raw))
+		}
+	}
+	if _, err := DecodeSegment(append(append([]byte(nil), raw...), 0)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+}
+
+// TestPostingsBlockSkip builds a term spanning many blocks and checks
+// Advance lands exactly and actually skips whole blocks.
+func TestPostingsBlockSkip(t *testing.T) {
+	const docCount = 5*BlockSize + 17
+	docs := make([]DocInput, docCount)
+	for i := range docs {
+		terms := []string{"common"}
+		if i%97 == 0 {
+			terms = append(terms, "rare")
+		}
+		docs[i] = DocInput{URL: fmt.Sprintf("u/%06d", i), Terms: terms}
+	}
+	seg, err := BuildSegment(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st IterStats
+	it, ok := seg.Postings("common", &st)
+	if !ok {
+		t.Fatal("common missing")
+	}
+	target := uint32(4*BlockSize + 3)
+	if !it.Advance(target) || it.DocID() != target {
+		t.Fatalf("Advance(%d) landed at %v", target, it.DocID())
+	}
+	if st.BlocksSkipped < 3 {
+		t.Fatalf("Advance over %d blocks skipped only %d", 4, st.BlocksSkipped)
+	}
+	// Advance never moves backwards.
+	if !it.Advance(0) || it.DocID() != target {
+		t.Fatal("Advance moved backwards")
+	}
+	// Advancing past the end exhausts cleanly.
+	if it.Advance(docCount + 1) {
+		t.Fatal("Advance past the end returned true")
+	}
+}
+
+func TestFromDocuments(t *testing.T) {
+	docs := []indexer.Document{{URL: "u", Terms: []string{"a", "b", "c"}}}
+	in := FromDocuments(docs, 2)
+	if len(in) != 1 || in[0].Abstract != "a b" || len(in[0].Terms) != 3 {
+		t.Fatalf("FromDocuments = %+v", in)
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	seg, err := BuildSegment(smallDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := seg.String(); !strings.Contains(s, "docs=3") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,278 @@
+package search
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"directload/internal/aof"
+	"directload/internal/blockfs"
+	"directload/internal/core"
+	"directload/internal/indexer"
+	"directload/internal/ssd"
+)
+
+// coreDBEngine adapts *core.DB (the production storage engine) to the
+// search Engine interface, mirroring the qindbd wiring.
+type coreDBEngine struct{ db *core.DB }
+
+func (e coreDBEngine) Put(key string, version uint64, value []byte) error {
+	_, err := e.db.Put([]byte(key), version, value, false)
+	return err
+}
+
+func (e coreDBEngine) Get(key string, version uint64) ([]byte, error) {
+	v, _, err := e.db.Get([]byte(key), version)
+	return v, err
+}
+
+func newCoreEngine(t testing.TB) Engine {
+	t.Helper()
+	dev, err := ssd.NewDevice(ssd.DefaultConfig(256 << 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(blockfs.NewNativeFS(dev), core.Options{
+		AOF: aof.Config{FileSize: 2 << 20, GCThreshold: 0.25}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = db.Close() })
+	return coreDBEngine{db: db}
+}
+
+// queryFingerprint runs a fixed query mix against one snapshot and
+// returns the JSON-marshalled results — a byte-stable digest of what a
+// client would observe.
+func queryFingerprint(t *testing.T, sn *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	queries := []struct {
+		class QueryClass
+		terms []string
+	}{
+		{ClassTerm, []string{"term00001"}},
+		{ClassTerm, []string{"term00042"}},
+		{ClassAnd, []string{"term00001", "term00002"}},
+		{ClassAnd, []string{"term00003", "term00007", "term00001"}},
+		{ClassPhrase, []string{"term00001", "term00002"}},
+	}
+	for _, q := range queries {
+		res, _, err := sn.Query(context.Background(), q.class, q.terms, 0)
+		if err != nil {
+			t.Fatalf("%s %v: %v", q.class, q.terms, err)
+		}
+		if err := json.NewEncoder(&buf).Encode(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotIsolationDuringPublish is the acceptance check from the
+// issue: queries pinned to version N must return byte-identical results
+// while version N+1 (and beyond) publish concurrently into the same
+// engine.
+func TestSnapshotIsolationDuringPublish(t *testing.T) {
+	eng := newCoreEngine(t)
+	svc := NewService(eng, nil)
+
+	cfg := indexer.DefaultCrawlConfig()
+	cfg.Documents = 250
+	cfg.VocabSize = 120
+	cfg.DocTerms = 30
+	cfg.Seed = 11
+	crawler, err := indexer.NewCrawler(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawler.Crawl()
+	info, err := svc.Ingest("web", FromDocuments(crawler.Corpus(), 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 {
+		t.Fatalf("first publish got version %d", info.Version)
+	}
+
+	pinned, err := svc.Snapshot("web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := queryFingerprint(t, pinned)
+	segV1, _, err := LoadSegment(eng, "web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawV1 := append([]byte(nil), segV1.Bytes()...)
+
+	// Publisher: four more versions with mutated corpora, racing the
+	// readers below.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := 2; v <= 5; v++ {
+			crawler.Crawl()
+			if _, err := svc.Ingest("web", FromDocuments(crawler.Corpus(), 6)); err != nil {
+				t.Errorf("publish v%d: %v", v, err)
+				return
+			}
+		}
+	}()
+
+	// Readers: the pinned snapshot must stay byte-stable throughout,
+	// both through the service cache and via fresh engine loads.
+	var rwg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for i := 0; i < 10; i++ {
+				sn, err := svc.Snapshot("web", 1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got := queryFingerprint(t, sn); !bytes.Equal(got, baseline) {
+					t.Error("pinned snapshot results changed during concurrent publish")
+					return
+				}
+			}
+		}()
+	}
+	rwg.Wait()
+	wg.Wait()
+
+	// After all publishes: version 1's stored bytes are untouched...
+	reloaded, _, err := LoadSegment(eng, "web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reloaded.Bytes(), rawV1) {
+		t.Fatal("version 1 segment bytes changed after later publishes")
+	}
+	fresh := NewSnapshot("web", 1, reloaded)
+	if got := queryFingerprint(t, fresh); !bytes.Equal(got, baseline) {
+		t.Fatal("fresh load of version 1 disagrees with the pinned baseline")
+	}
+	// ...and unpinned queries serve the newest version.
+	if latest, _ := svc.Latest("web"); latest != 5 {
+		t.Fatalf("latest = %d, want 5", latest)
+	}
+	_, _, served, err := svc.Query(context.Background(), "web", 0, ClassTerm, []string{"term00001"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served != 5 {
+		t.Fatalf("unpinned query served version %d, want 5", served)
+	}
+}
+
+func TestServiceLifecycle(t *testing.T) {
+	svc := NewService(NewMemEngine(), nil)
+	if err := svc.Create("docs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Create("docs"); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if err := svc.Create("bad name"); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if _, err := svc.Snapshot("docs", 0); err == nil || !strings.Contains(err.Error(), "no published version") {
+		t.Fatalf("snapshot of empty index: %v", err)
+	}
+	if _, err := svc.Snapshot("nosuch", 0); err == nil || !strings.Contains(err.Error(), "unknown index") {
+		t.Fatalf("snapshot of unknown index: %v", err)
+	}
+
+	info, err := svc.Ingest("docs", smallDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Docs != 3 || info.Terms != 4 {
+		t.Fatalf("ingest info = %+v", info)
+	}
+	list := svc.List()
+	if len(list) != 1 || list[0] != info {
+		t.Fatalf("List = %v", list)
+	}
+
+	res, _, served, err := svc.Query(context.Background(), "docs", 0, ClassTerm, []string{"banana"}, 0)
+	if err != nil || served != 1 {
+		t.Fatalf("query: %v (served %d)", err, served)
+	}
+	if len(res) != 2 || res[0].URL != "u/a" || res[1].URL != "u/b" {
+		t.Fatalf("banana hits = %v", res)
+	}
+
+	// Second ingest bumps the version; pinned queries still see v1.
+	v2docs := append(smallDocs(), DocInput{URL: "u/z", Terms: []string{"banana"}})
+	if info, err = svc.Ingest("docs", v2docs); err != nil || info.Version != 2 {
+		t.Fatalf("second ingest: %+v, %v", info, err)
+	}
+	res, _, served, err = svc.Query(context.Background(), "docs", 1, ClassTerm, []string{"banana"}, 0)
+	if err != nil || served != 1 || len(res) != 2 {
+		t.Fatalf("pinned query: %d hits, served %d, err %v", len(res), served, err)
+	}
+	res, _, served, err = svc.Query(context.Background(), "docs", 0, ClassTerm, []string{"banana"}, 0)
+	if err != nil || served != 2 || len(res) != 3 {
+		t.Fatalf("latest query: %d hits, served %d, err %v", len(res), served, err)
+	}
+
+	// Lifecycle errors surface typed sentinels for the REST layer.
+	if _, _, _, err := svc.Query(context.Background(), "docs", 0, ClassAnd, nil, 0); !errors.Is(err, ErrEmptyQuery) {
+		t.Fatalf("empty query: %v", err)
+	}
+	bad := []DocInput{{URL: "u/x", Terms: []string{"a", ""}}}
+	if _, err := svc.Ingest("docs", bad); !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("bad ingest: %v", err)
+	}
+}
+
+// TestSnapshotCacheReload evicts the snapshot cache past its bound and
+// proves pinned versions reload identically from the engine.
+func TestSnapshotCacheReload(t *testing.T) {
+	svc := NewService(NewMemEngine(), nil)
+	if _, err := svc.Ingest("a", smallDocs()); err != nil {
+		t.Fatal(err)
+	}
+	sn1, err := svc.Snapshot("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := queryFingerprint7(t, sn1)
+	// Publish far past the cache bound so "a@1" is eventually evicted.
+	for i := 0; i < maxCachedSnapshots+8; i++ {
+		if _, err := svc.Ingest("a", smallDocs()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, err := svc.Snapshot("a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(queryFingerprint7(t, sn), base) {
+		t.Fatal("reloaded snapshot differs from original")
+	}
+}
+
+// queryFingerprint7 digests the smallDocs corpus.
+func queryFingerprint7(t *testing.T, sn *Snapshot) []byte {
+	t.Helper()
+	res, _, err := sn.Query(context.Background(), ClassTerm, []string{"banana"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,174 @@
+package search
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestIndexMetaRoundTrip(t *testing.T) {
+	m := IndexMeta{Chunks: 3, Bytes: 123456, Checksum: 0xdeadbeef}
+	got, err := DecodeIndexMeta(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("meta round trip: %+v != %+v", got, m)
+	}
+	if _, err := DecodeIndexMeta([]byte("nope")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecodeIndexMeta(append(m.Encode(), 0)); err == nil {
+		t.Fatal("trailing meta bytes accepted")
+	}
+}
+
+// bigDocs builds a corpus whose segment spans several chunks.
+func bigDocs(n int) []DocInput {
+	docs := make([]DocInput, n)
+	for i := range docs {
+		docs[i] = DocInput{
+			URL:      fmt.Sprintf("u/%06d", i),
+			Terms:    []string{fmt.Sprintf("t%04d", i%50), "shared", fmt.Sprintf("t%04d", (i+7)%50)},
+			Abstract: strings.Repeat("x", 200),
+		}
+	}
+	return docs
+}
+
+func TestWriteLoadSegmentChunked(t *testing.T) {
+	seg, err := BuildSegment(bigDocs(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seg.Bytes()) <= 2*DefaultChunkSize {
+		t.Fatalf("test corpus too small to chunk: %d bytes", len(seg.Bytes()))
+	}
+	eng := NewMemEngine()
+	if err := WriteSegment(eng, "web", 1, seg); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := DecodeIndexMeta(mustGet(t, eng, MetaKey("web"), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Chunks < 3 || meta.Bytes != len(seg.Bytes()) {
+		t.Fatalf("meta = %+v for a %d-byte segment", meta, len(seg.Bytes()))
+	}
+	loaded, meta2, err := LoadSegment(eng, "web", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 != meta {
+		t.Fatalf("loaded meta %+v != written %+v", meta2, meta)
+	}
+	if !bytes.Equal(loaded.Bytes(), seg.Bytes()) {
+		t.Fatal("loaded segment differs from the written one")
+	}
+}
+
+func mustGet(t *testing.T, eng Engine, key string, ver uint64) []byte {
+	t.Helper()
+	v, err := eng.Get(key, ver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestLoadSegmentDetectsCorruption(t *testing.T) {
+	seg, err := BuildSegment(smallDocs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewMemEngine()
+	if err := WriteSegment(eng, "idx", 1, seg); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a chunk byte under the sealed meta: the checksum must catch it.
+	chunk := mustGet(t, eng, ChunkKey("idx", 0), 1)
+	chunk[len(chunk)/2] ^= 0xff
+	if err := eng.Put(ChunkKey("idx", 0), 1, chunk); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadSegment(eng, "idx", 1); err == nil {
+		t.Fatal("corrupted chunk loaded without error")
+	}
+	if _, _, err := LoadSegment(eng, "idx", 2); err == nil {
+		t.Fatal("unpublished version loaded without error")
+	}
+}
+
+// failingEngine fails puts after a budget — exercises the writer's
+// error paths.
+type failingEngine struct {
+	*MemEngine
+	budget int
+}
+
+func (e *failingEngine) Put(key string, version uint64, value []byte) error {
+	if e.budget <= 0 {
+		return fmt.Errorf("boom")
+	}
+	e.budget--
+	return e.MemEngine.Put(key, version, value)
+}
+
+func TestSegmentWriterErrors(t *testing.T) {
+	seg, err := BuildSegment(bigDocs(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for budget := 0; budget < 4; budget++ {
+		eng := &failingEngine{MemEngine: NewMemEngine(), budget: budget}
+		if err := WriteSegment(eng, "idx", 1, seg); err == nil {
+			t.Fatalf("budget %d: write succeeded", budget)
+		}
+		// Nothing sealed: the meta record must not exist.
+		if _, err := eng.Get(MetaKey("idx"), 1); err == nil {
+			t.Fatalf("budget %d: meta sealed despite failed write", budget)
+		}
+	}
+	w := NewSegmentWriter(NewMemEngine(), "idx", 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second close must be a no-op")
+	}
+}
+
+func TestSegmentPairsMatchWriter(t *testing.T) {
+	seg, err := BuildSegment(bigDocs(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := SegmentPairs("p", seg)
+	eng := NewMemEngine()
+	for _, p := range pairs {
+		if err := eng.Put(p.Key, 5, p.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded, _, err := LoadSegment(eng, "p", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(loaded.Bytes(), seg.Bytes()) {
+		t.Fatal("pairs-published segment differs")
+	}
+	// Pairs and the streaming writer must produce identical engine state.
+	eng2 := NewMemEngine()
+	if err := WriteSegment(eng2, "p", 5, seg); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if !bytes.Equal(mustGet(t, eng, p.Key, 5), mustGet(t, eng2, p.Key, 5)) {
+			t.Fatalf("key %s differs between pairs and writer", p.Key)
+		}
+	}
+}
