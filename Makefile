@@ -1,7 +1,7 @@
 GO ?= go
 GIT_SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 
-.PHONY: build test race vet lint bench bench-out bench-json bench-compare fuzz-smoke check clean
+.PHONY: build test race vet lint lint-fixtures lint-sarif audit-ignores bench bench-out bench-json bench-compare fuzz-smoke check clean
 
 build:
 	$(GO) build ./...
@@ -16,13 +16,32 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific analyzers (internal/analysis) run through the go
-# command's vettool protocol, so package loading, export data and
-# result caching all come from `go vet`. See DESIGN.md, "Static
-# analysis". Suppress a finding with:
+# command's vettool protocol, so package loading, export data, fact
+# propagation and result caching all come from `go vet`. See
+# DESIGN.md, "Static analysis" and "Interprocedural analysis".
+# Suppress a finding with:
 #   //lint:ignore <analyzer> reason
 lint:
 	$(GO) build -o bin/directload-vet ./cmd/directload-vet
 	$(GO) vet -vettool=bin/directload-vet ./...
+
+# The analyzers' own regression suite: every analyzer package runs its
+# flagging and non-flagging fixtures under the analysistest harness,
+# plus the facts engine's round-trip/staleness tests.
+lint-fixtures:
+	$(GO) test ./internal/analysis/... ./cmd/directload-vet/
+
+# Same findings as `make lint`, also written to directload-vet.sarif
+# for code-scanning upload.
+lint-sarif:
+	$(GO) build -o bin/directload-vet ./cmd/directload-vet
+	bin/directload-vet -sarif=directload-vet.sarif ./...
+
+# Every //lint:ignore in the tree, with its mandatory reason; fails if
+# any directive lacks one.
+audit-ignores:
+	$(GO) build -o bin/directload-vet ./cmd/directload-vet
+	bin/directload-vet -audit-ignores
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 100x ./...

@@ -1,0 +1,148 @@
+// Package atomicmix flags plain reads and writes of memory that is
+// accessed through sync/atomic anywhere in the module. Mixing the two
+// is a data race even when it "works": the race detector only catches
+// the schedules it sees, and a plain load can legally observe a torn
+// or stale value.
+//
+// Two scopes are tracked:
+//
+//   - package-level variables and named struct fields, keyed by
+//     ObjKey and shared across packages through the facts engine
+//     (AtomicObjs) — a field atomically updated in package A may not
+//     be read plainly in package B;
+//   - function-local variables (including slice elements, as in
+//     `atomic.AddInt32(&acks[i], 1)`), tracked per file by object
+//     identity.
+//
+// Taking the address for the atomic call itself is of course fine;
+// everything else — including handing the address elsewhere — is not.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"directload/internal/analysis"
+)
+
+// Analyzer is the atomicmix check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "memory accessed via sync/atomic must never be read or written plainly",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass, f) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+	return nil
+}
+
+// localRoot describes a function-local variable used atomically.
+type localRoot struct {
+	elem bool // the atomic op targeted an element (&xs[i]), not the var itself
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	info := pass.TypesInfo
+
+	// Pass 1: what is accessed atomically, and which source ranges are
+	// the sanctioned &x operands of those calls.
+	locals := map[types.Object]localRoot{}
+	sanctioned := []ast.Node{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !analysis.IsAtomicPkgCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				continue
+			}
+			sanctioned = append(sanctioned, ue)
+			target := ast.Unparen(ue.X)
+			elem := false
+			if ix, ok := target.(*ast.IndexExpr); ok {
+				target = ast.Unparen(ix.X)
+				elem = true
+			}
+			if id, ok := target.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && !isPkgLevel(v) {
+					if old, seen := locals[v]; !seen || (old.elem && !elem) {
+						locals[v] = localRoot{elem: elem}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	atomicKeys := pass.Facts.AtomicObjs
+
+	inSanctioned := func(pos token.Pos) bool {
+		for _, s := range sanctioned {
+			if s.Pos() <= pos && pos < s.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: flag plain accesses to anything pass 1 (or an imported
+	// fact) marked atomic.
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if key := analysis.ObjKey(info, n); key != "" && atomicKeys[key] {
+				if !inSanctioned(n.Pos()) {
+					pass.Reportf(n.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere: use the matching atomic.Load/Store", key)
+				}
+				return false
+			}
+		case *ast.IndexExpr:
+			base, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := info.Uses[base].(*types.Var); ok {
+				if _, tracked := locals[v]; tracked && !inSanctioned(n.Pos()) {
+					pass.Reportf(n.Pos(), "plain access to element of %s, whose elements are accessed via sync/atomic: use atomic.Load/Store", base.Name)
+					return false
+				}
+			}
+		case *ast.Ident:
+			if key := analysis.ObjKey(info, n); key != "" && atomicKeys[key] {
+				if !inSanctioned(n.Pos()) {
+					pass.Reportf(n.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere: use the matching atomic.Load/Store", key)
+				}
+				return false
+			}
+			v, ok := info.Uses[n].(*types.Var)
+			if !ok {
+				return true
+			}
+			root, tracked := locals[v]
+			if !tracked || inSanctioned(n.Pos()) {
+				return true
+			}
+			if root.elem {
+				// The slice header itself may be read (len, range
+				// index, passing the slice); only element access is
+				// racy, and the IndexExpr case catches that.
+				return true
+			}
+			pass.Reportf(n.Pos(), "plain access to %s, which is accessed via sync/atomic: use the matching atomic.Load/Store", n.Name)
+		}
+		return true
+	})
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

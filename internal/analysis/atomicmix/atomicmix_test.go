@@ -1,0 +1,18 @@
+package atomicmix_test
+
+import (
+	"testing"
+
+	"directload/internal/analysis/analysistest"
+	"directload/internal/analysis/atomicmix"
+)
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "counter")
+}
+
+// TestAtomicMixInterprocedural needs stats' imported facts: Report
+// fires only because stats' AtomicObjs summary marks Hits and Total.
+func TestAtomicMixInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicmix.Analyzer, "statsuser")
+}

@@ -1,0 +1,71 @@
+// Package counter exercises atomicmix within one package: package
+// vars, struct fields, plain locals and slice elements.
+package counter
+
+import "sync/atomic"
+
+var hits int64
+
+type gauge struct{ n int64 }
+
+// inc marks hits atomic for the whole module.
+func inc() { atomic.AddInt64(&hits, 1) }
+
+// read mixes in a plain load.
+func read() int64 {
+	return hits // want `plain access to counter.hits`
+}
+
+// readAtomic is the correct counterpart.
+func readAtomic() int64 {
+	return atomic.LoadInt64(&hits)
+}
+
+func (g *gauge) bump() { atomic.AddInt64(&g.n, 1) }
+
+// peek plainly reads a field bump updates atomically.
+func (g *gauge) peek() int64 {
+	return g.n // want `plain access to counter.gauge.n`
+}
+
+// ackLoop is the fleet-ack shape: elements written atomically from
+// goroutines, then read plainly.
+func ackLoop(n int) int {
+	acks := make([]int32, n)
+	for i := 0; i < n; i++ {
+		go atomic.AddInt32(&acks[i], 1)
+	}
+	total := 0
+	for i := range acks {
+		total += int(acks[i]) // want `plain access to element of acks`
+	}
+	return total
+}
+
+// ackLoopAtomic reads the elements the right way; the slice header
+// itself (len, range) is fair game.
+func ackLoopAtomic(n int) int {
+	acks := make([]int32, n)
+	for i := 0; i < n; i++ {
+		go atomic.AddInt32(&acks[i], 1)
+	}
+	total := 0
+	for i := 0; i < len(acks); i++ {
+		total += int(atomic.LoadInt32(&acks[i]))
+	}
+	return total
+}
+
+// localMix stores plainly into a local it also loads atomically.
+func localMix() int64 {
+	var v int64
+	v = 9 // want `plain access to v`
+	return atomic.LoadInt64(&v)
+}
+
+// plainOnly never touches atomics: nothing to flag.
+func plainOnly() int64 {
+	var v int64
+	v = 7
+	return v
+}

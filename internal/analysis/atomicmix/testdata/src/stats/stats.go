@@ -1,0 +1,21 @@
+// Package stats is the imported side of atomicmix's interprocedural
+// case: its atomic objects (a package var and an exported field)
+// travel to statsuser as facts.
+package stats
+
+import "sync/atomic"
+
+// Stats counts hits; Hits is only ever touched via sync/atomic here.
+type Stats struct{ Hits int64 }
+
+// Total is the package-wide counter.
+var Total int64
+
+func (s *Stats) Record() { atomic.AddInt64(&s.Hits, 1) }
+
+func Bump() { atomic.AddInt64(&Total, 1) }
+
+// Snapshot reads both the right way.
+func Snapshot(s *Stats) (int64, int64) {
+	return atomic.LoadInt64(&s.Hits), atomic.LoadInt64(&Total)
+}

@@ -1,0 +1,21 @@
+// Package statsuser reads stats' counters plainly; only the imported
+// AtomicObjs facts reveal that stats updates them via sync/atomic.
+package statsuser
+
+import (
+	"sync/atomic"
+
+	"stats"
+)
+
+// Report mixes plain loads into another package's atomics.
+func Report(s *stats.Stats) int64 {
+	h := s.Hits      // want `plain access to stats.Stats.Hits`
+	t := stats.Total // want `plain access to stats.Total`
+	return h + t
+}
+
+// ReportAtomic is the quiet counterpart.
+func ReportAtomic(s *stats.Stats) int64 {
+	return atomic.LoadInt64(&s.Hits) + atomic.LoadInt64(&stats.Total)
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// IgnoreEntry is one //lint:ignore directive found in the tree, with
+// enough context to audit it: where it is, what it silences, and why.
+// A directive without a reason is inert (it suppresses nothing), so
+// Reason == "" marks a directive that is both useless and misleading —
+// the audit fails on those.
+type IgnoreEntry struct {
+	File      string
+	Line      int
+	Analyzers string // comma-joined, as written
+	Reason    string
+}
+
+// AuditIgnores walks root for .go files and collects every
+// //lint:ignore directive, using the same comment parse the
+// suppression engine uses — prose that merely mentions the directive
+// (doc comments, string literals) does not count. Vendored fixtures
+// (testdata), build output (bin) and VCS metadata are skipped:
+// fixtures deliberately contain directives under test, and auditing
+// them would drown the signal.
+func AuditIgnores(root string) ([]IgnoreEntry, error) {
+	var entries []IgnoreEntry
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "bin", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("auditing %s: %v", path, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "lint:ignore") {
+					continue
+				}
+				fields := strings.SplitN(strings.TrimSpace(strings.TrimPrefix(text, "lint:ignore")), " ", 2)
+				e := IgnoreEntry{File: path, Line: fset.Position(c.Pos()).Line}
+				if len(fields) > 0 {
+					e.Analyzers = fields[0]
+				}
+				if len(fields) > 1 {
+					e.Reason = strings.TrimSpace(fields[1])
+				}
+				entries = append(entries, e)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].File != entries[j].File {
+			return entries[i].File < entries[j].File
+		}
+		return entries[i].Line < entries[j].Line
+	})
+	return entries, nil
+}
+
+// String renders the entry in the file:line form the audit prints.
+func (e IgnoreEntry) String() string {
+	reason := e.Reason
+	if reason == "" {
+		reason = "<no reason: directive is inert>"
+	}
+	return fmt.Sprintf("%s:%d: %s — %s", e.File, e.Line, e.Analyzers, reason)
+}

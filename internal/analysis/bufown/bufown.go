@@ -1,0 +1,313 @@
+// Package bufown polices the lifecycle of sync.Pool buffers — the
+// gatekeeper for the planned pooled-wire-buffer refactor. A pooled
+// buffer is on loan: it must go back (Put), it must not be touched
+// after it goes back, and it must not outlive the loan by escaping
+// into a struct field, map, global, return value or channel.
+//
+// Interprocedurally (via the facts engine), handing the buffer to a
+// helper whose summary says it Puts its parameter counts as the Put,
+// and handing it to one whose summary says it retains the parameter
+// is an escape — even across package boundaries.
+package bufown
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"directload/internal/analysis"
+)
+
+// Analyzer is the bufown check.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc:  "sync.Pool buffers must be Put exactly once, never used after Put, and never escape the function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass, f) {
+			continue
+		}
+		bodies := analysis.FuncBodies(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+				return true
+			}
+			call := unwrapGet(as.Rhs[0])
+			if call == nil || !analysis.IsPoolGet(pass.TypesInfo, call) {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			checkBuffer(pass, bodies, call, id)
+			return true
+		})
+	}
+	return nil
+}
+
+// unwrapGet digs the pool.Get() call out of `pool.Get().([]byte)`.
+func unwrapGet(e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, _ := e.(*ast.CallExpr)
+	return call
+}
+
+// putEvent is one way the buffer went back to the pool.
+type putEvent struct {
+	node     ast.Node
+	deferred bool // a deferred Put runs at function exit, opening no use-after window
+}
+
+func checkBuffer(pass *analysis.Pass, bodies []*ast.BlockStmt, get *ast.CallExpr, id *ast.Ident) {
+	info := pass.TypesInfo
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	scope := analysis.InnermostBlock(bodies, get.Pos())
+	if scope == nil {
+		return
+	}
+	blocks := analysis.CollectBlocks(scope)
+	aliases := collectAliases(info, scope, obj)
+
+	var (
+		puts    []putEvent
+		handoff bool // passed to a call or closure we can't see through
+		escaped bool
+	)
+	deferredCalls := map[*ast.CallExpr]bool{}
+
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		case *ast.FuncLit:
+			// the closure may Put or keep the buffer; either way the
+			// intra-function story ends here
+			if refsAny(info, n.Body, aliases) {
+				handoff = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isAliasExpr(info, rhs, aliases) || i >= len(n.Lhs) {
+					continue
+				}
+				if retainingLHS(info, n.Lhs[i]) {
+					pass.Reportf(n.Pos(), "pooled buffer %s stored beyond the function: the pool can hand it to another goroutine while it is still referenced; copy it instead", id.Name)
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isAliasExpr(info, v, aliases) {
+					pass.Reportf(v.Pos(), "pooled buffer %s packed into a composite literal: it outlives the loan; copy it instead", id.Name)
+					escaped = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if isAliasExpr(info, res, aliases) {
+					pass.Reportf(n.Pos(), "pooled buffer %s returned to caller: the pool can reclaim it out from under them; copy it or Put here", id.Name)
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if isAliasExpr(info, n.Value, aliases) {
+				pass.Reportf(n.Pos(), "pooled buffer %s sent on a channel: the receiver races the pool; copy it instead", id.Name)
+				escaped = true
+			}
+		case *ast.CallExpr:
+			if analysis.IsPoolPutCall(info, n) {
+				for _, arg := range n.Args {
+					if isAliasExpr(info, arg, aliases) {
+						puts = append(puts, putEvent{n, deferredCalls[n]})
+					}
+				}
+				return true
+			}
+			fn := analysis.CalleeFunc(info, n)
+			for i, arg := range n.Args {
+				if !isAliasExpr(info, arg, aliases) {
+					continue
+				}
+				if fn == nil {
+					// len/cap/append read or copy, conversions copy
+					// (string(buf)); ownership stays here. A call
+					// through a func value is opaque: assume handled.
+					if !isBuiltinOrConversion(info, n) {
+						handoff = true
+					}
+					continue
+				}
+				ff := pass.Facts.Func(fn)
+				switch {
+				case ff.RetainsParam(i):
+					pass.Reportf(arg.Pos(), "pooled buffer %s retained by %s (retains its arg %d): it outlives the loan; copy before passing", id.Name, fn.Name(), i)
+					escaped = true
+				case ff.PutsParam(i):
+					puts = append(puts, putEvent{n, deferredCalls[n]})
+				case !pass.Facts.Known(fn):
+					handoff = true // no summary: assume the callee handles it
+				}
+			}
+		}
+		return true
+	})
+
+	// Use-after-Put: any reference to the buffer a non-deferred Put
+	// lexically covers.
+	for _, put := range puts {
+		if put.deferred {
+			continue
+		}
+		for _, use := range aliasUses(info, scope, aliases) {
+			if within(put.node, use.Pos()) {
+				continue
+			}
+			if analysis.CoversLexically(blocks, put.node, use.Pos()) {
+				pass.Reportf(use.Pos(), "pooled buffer %s used after Put: the pool may already have handed it to another goroutine", id.Name)
+			}
+		}
+	}
+
+	if len(puts) == 0 && !escaped && !handoff {
+		pass.Reportf(get.Pos(), "pooled buffer %s is never returned to the pool: Put it (usually deferred) before every exit", id.Name)
+	}
+}
+
+// collectAliases grows the set of variables holding the same backing
+// buffer: direct copies and reslices of a tracked name.
+func collectAliases(info *types.Info, scope ast.Node, root types.Object) map[types.Object]bool {
+	aliases := map[types.Object]bool{root: true}
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		ast.Inspect(scope, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !isAliasExpr(info, rhs, aliases) {
+					continue
+				}
+				lhs, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[lhs]
+				if obj == nil {
+					obj = info.Uses[lhs]
+				}
+				if obj != nil && !aliases[obj] {
+					aliases[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return aliases
+}
+
+// isAliasExpr reports whether e is (a reslice or reassertion of) a
+// tracked alias.
+func isAliasExpr(info *types.Info, e ast.Expr, aliases map[types.Object]bool) bool {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.TypeAssertExpr:
+			e = t.X
+		case *ast.Ident:
+			obj := info.Uses[t]
+			if obj == nil {
+				obj = info.Defs[t]
+			}
+			return obj != nil && aliases[obj]
+		default:
+			return false
+		}
+	}
+}
+
+// aliasUses lists every identifier reference to a tracked alias.
+func aliasUses(info *types.Info, scope ast.Node, aliases map[types.Object]bool) []*ast.Ident {
+	var out []*ast.Ident
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && aliases[obj] {
+				out = append(out, id)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// refsAny reports whether n references any tracked alias.
+func refsAny(info *types.Info, n ast.Node, aliases map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && aliases[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinOrConversion reports whether call invokes a builtin
+// (append, len, copy, ...) or is a type conversion.
+func isBuiltinOrConversion(info *types.Info, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return true
+		}
+	}
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+// within reports whether pos falls inside node's source range.
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}
+
+// retainingLHS: a store target that outlives the function — field,
+// map/slice element, pointer target, or package-level variable.
+func retainingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Parent() == obj.Pkg().Scope()
+		}
+	}
+	return false
+}

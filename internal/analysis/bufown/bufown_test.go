@@ -1,0 +1,19 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"directload/internal/analysis/analysistest"
+	"directload/internal/analysis/bufown"
+)
+
+func TestBufOwn(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.Analyzer, "wirebuf")
+}
+
+// TestBufOwnInterprocedural needs bufsink's imported facts: BadForward
+// fires only because Stash's summary says it retains its parameter,
+// and GoodForward is quiet only because Recycle's says it Puts.
+func TestBufOwnInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata", bufown.Analyzer, "bufuser")
+}

@@ -1,0 +1,18 @@
+// Package bufsink is the imported side of bufown's interprocedural
+// cases: the engine summarizes Stash as retaining its parameter and
+// Recycle as Putting it; bufuser only sees those facts.
+package bufsink
+
+import "sync"
+
+// Sink keeps the last buffer it is shown.
+type Sink struct{ last []byte }
+
+// Stash retains p: Retains=[0].
+func (s *Sink) Stash(p []byte) { s.last = p }
+
+// Recycle returns p to the pool: Puts=[1].
+func Recycle(pool *sync.Pool, p []byte) { pool.Put(p) }
+
+// Read only measures the buffer: empty summary.
+func Read(p []byte) int { return len(p) }

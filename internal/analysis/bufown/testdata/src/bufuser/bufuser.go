@@ -1,0 +1,28 @@
+// Package bufuser hands pooled buffers to bufsink across a package
+// boundary. Both findings and non-findings here depend on imported
+// facts: without them Stash looks harmless and Recycle looks like a
+// missing Put.
+package bufuser
+
+import (
+	"sync"
+
+	"bufsink"
+)
+
+var pool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// BadForward leaks the loan into the sink: only bufsink's imported
+// Retains fact reveals it.
+func BadForward(s *bufsink.Sink) {
+	buf := pool.Get().([]byte)
+	defer pool.Put(buf)
+	s.Stash(buf) // want `pooled buffer buf retained by Stash`
+}
+
+// GoodForward pairs its Get with bufsink.Recycle's Puts fact.
+func GoodForward() {
+	buf := pool.Get().([]byte)
+	bufsink.Read(buf)
+	bufsink.Recycle(&pool, buf)
+}

@@ -1,0 +1,100 @@
+// Package wirebuf exercises bufown within one package: Get/Put
+// pairing, use-after-Put, and every escape route.
+package wirebuf
+
+import "sync"
+
+var pool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+var index = map[string][]byte{}
+
+type frame struct{ payload []byte }
+
+type cache struct{ last []byte }
+
+func process(p []byte) {}
+
+// recycle puts its buffer back: the engine summarizes Puts=[0], so
+// callers that hand off through it are paired up.
+func recycle(p []byte) { pool.Put(p) }
+
+// Roundtrip is the idiomatic loan: deferred Put, free use in between.
+func Roundtrip() {
+	buf := pool.Get().([]byte)
+	defer pool.Put(buf)
+	buf = append(buf[:0], 'x')
+	process(buf)
+}
+
+// Delegated pairs the Get with recycle's Puts fact.
+func Delegated() {
+	buf := pool.Get().([]byte)
+	process(buf)
+	recycle(buf)
+}
+
+// Trim copies out of the loan before returning: nothing escapes.
+func Trim() []byte {
+	buf := pool.Get().([]byte)
+	defer pool.Put(buf)
+	out := append([]byte(nil), buf...)
+	return out
+}
+
+// Async hands the buffer to a closure; the closure owns the loan now.
+func Async(run func(func())) {
+	buf := pool.Get().([]byte)
+	run(func() {
+		process(buf)
+		pool.Put(buf)
+	})
+}
+
+// UseAfterPut touches the buffer after giving it back.
+func UseAfterPut() {
+	buf := pool.Get().([]byte)
+	buf = append(buf[:0], 'x')
+	pool.Put(buf)
+	process(buf) // want `pooled buffer buf used after Put`
+}
+
+// Remember parks the loaned buffer in a field.
+func (c *cache) Remember() {
+	buf := pool.Get().([]byte)
+	defer pool.Put(buf)
+	c.last = buf // want `pooled buffer buf stored beyond the function`
+}
+
+// Stash leaks the loan into a global map.
+func Stash(k string) {
+	buf := pool.Get().([]byte)
+	defer pool.Put(buf)
+	index[k] = buf // want `pooled buffer buf stored beyond the function`
+}
+
+// Leak returns the loaned buffer itself.
+func Leak() []byte {
+	buf := pool.Get().([]byte)
+	return buf // want `pooled buffer buf returned to caller`
+}
+
+// Ship sends the loan across a channel.
+func Ship(ch chan []byte) {
+	buf := pool.Get().([]byte)
+	defer pool.Put(buf)
+	ch <- buf // want `pooled buffer buf sent on a channel`
+}
+
+// Pack wraps the loan in a struct literal.
+func Pack() frame {
+	buf := pool.Get().([]byte)
+	defer pool.Put(buf)
+	return frame{payload: buf} // want `pooled buffer buf packed into a composite literal`
+}
+
+// Forgot never gives the buffer back.
+func Forgot() {
+	buf := pool.Get().([]byte) // want `pooled buffer buf is never returned to the pool`
+	process(buf)
+	_ = len(buf)
+}

@@ -1,0 +1,879 @@
+package analysis
+
+// Interprocedural facts. The engine summarizes every function it
+// analyzes into a small, serializable FuncFact ("retains its []byte
+// arg", "calls its func(error) arg", "loops forever", "returns its arg
+// to a sync.Pool", "may block"), and records which struct fields and
+// package-level variables are accessed through sync/atomic. The
+// summaries ride the same vet.cfg facts channel the go command already
+// maintains for -vettool runs (see unit.go): each package's facts are
+// written to cfg.VetxOutput, and dependents read them back through
+// cfg.PackageVetx before their own analysis runs. Analyzers consume
+// the merged view through Pass.Facts, which is how a diagnostic in one
+// package can depend on code in another — bufown flagging a pooled
+// buffer passed to a helper that stores it, spanend accepting a span
+// closer handed to a helper that calls it.
+//
+// Facts are versioned (FactsVersion): a fact file written by a
+// different engine revision decodes as empty rather than as wrong
+// answers, and bumping the directload-vet -V version string makes the
+// go command rebuild every cached vetx anyway.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// FactsVersion names the fact-file schema. Bump it whenever FuncFact
+// gains, loses or reinterprets a field: stale files then decode as
+// empty instead of as wrong answers.
+const FactsVersion = "directload-vet-facts/1"
+
+// FuncFact is one function's exported summary. Param indices count
+// declared parameters left to right from zero; the receiver is not
+// indexed (retention into receiver fields still sets Retains for the
+// stored parameter).
+type FuncFact struct {
+	// Retains lists params the function stores beyond the call:
+	// into a struct field, map, slice element, package-level
+	// variable, composite literal, or a goroutine it launches —
+	// directly or by passing them to a callee that does.
+	Retains []int `json:"retains,omitempty"`
+	// Puts lists params the function returns to a sync.Pool
+	// (directly or via a callee with a Puts fact).
+	Puts []int `json:"puts,omitempty"`
+	// EndsSpan lists func(error)-typed params the function invokes
+	// (called or deferred) — the shape of a span closer helper.
+	EndsSpan []int `json:"ends_span,omitempty"`
+	// LoopsForever means the body contains a condition-less for
+	// loop with no visible exit (return, loop break, ctx/done
+	// receive, panic/exit): a caller launching this function as a
+	// goroutine owns a process-lifetime goroutine.
+	LoopsForever bool `json:"loops_forever,omitempty"`
+	// Blocks means the body performs a blocking operation (channel
+	// send/receive, select, sync.WaitGroup.Wait, mutex Lock,
+	// time.Sleep) or calls a callee that does. Exported for future
+	// analyzers (e.g. an interprocedural locksafe); none consume it
+	// yet.
+	Blocks bool `json:"blocks,omitempty"`
+}
+
+func (f *FuncFact) empty() bool {
+	return f == nil || (len(f.Retains) == 0 && len(f.Puts) == 0 &&
+		len(f.EndsSpan) == 0 && !f.LoopsForever && !f.Blocks)
+}
+
+func (f *FuncFact) equal(g *FuncFact) bool {
+	if f == nil || g == nil {
+		return f.empty() && g.empty()
+	}
+	return intsEqual(f.Retains, g.Retains) && intsEqual(f.Puts, g.Puts) &&
+		intsEqual(f.EndsSpan, g.EndsSpan) &&
+		f.LoopsForever == g.LoopsForever && f.Blocks == g.Blocks
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// RetainsParam reports whether the fact marks param index i retained.
+func (f *FuncFact) RetainsParam(i int) bool { return f != nil && containsInt(f.Retains, i) }
+
+// PutsParam reports whether the fact marks param index i pooled-Put.
+func (f *FuncFact) PutsParam(i int) bool { return f != nil && containsInt(f.Puts, i) }
+
+// EndsSpanParam reports whether the fact marks param index i as an
+// invoked span closer.
+func (f *FuncFact) EndsSpanParam(i int) bool { return f != nil && containsInt(f.EndsSpan, i) }
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// FactSet is one package's facts (or a merged view across packages).
+type FactSet struct {
+	// Funcs maps FuncKey strings to summaries. Empty summaries are
+	// kept too: "analyzed, nothing noteworthy" is distinct from
+	// "never analyzed" (an unknown callee is treated
+	// conservatively).
+	Funcs map[string]*FuncFact
+	// AtomicObjs is the set of ObjKey strings for struct fields and
+	// package-level vars accessed through sync/atomic calls.
+	AtomicObjs map[string]bool
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{Funcs: make(map[string]*FuncFact), AtomicObjs: make(map[string]bool)}
+}
+
+// Func returns the summary for f, or nil when f was never analyzed.
+// Nil-safe on both receiver and argument.
+func (fs *FactSet) Func(f *types.Func) *FuncFact {
+	if fs == nil || f == nil {
+		return nil
+	}
+	return fs.Funcs[FuncKey(f)]
+}
+
+// Known reports whether f was analyzed at all (even to an empty
+// summary).
+func (fs *FactSet) Known(f *types.Func) bool {
+	if fs == nil || f == nil {
+		return false
+	}
+	_, ok := fs.Funcs[FuncKey(f)]
+	return ok
+}
+
+// Merge folds other into fs (other wins on key collisions).
+func (fs *FactSet) Merge(other *FactSet) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Funcs {
+		fs.Funcs[k] = v
+	}
+	for k := range other.AtomicObjs {
+		fs.AtomicObjs[k] = true
+	}
+}
+
+// MergeFacts returns a fresh set holding every given set's facts
+// (later sets win).
+func MergeFacts(sets ...*FactSet) *FactSet {
+	out := NewFactSet()
+	for _, s := range sets {
+		out.Merge(s)
+	}
+	return out
+}
+
+// factFile is the serialized form.
+type factFile struct {
+	Version    string               `json:"version"`
+	Funcs      map[string]*FuncFact `json:"funcs,omitempty"`
+	AtomicObjs []string             `json:"atomic_objs,omitempty"`
+}
+
+// Encode serializes the set (deterministically: keys sorted by the
+// JSON encoder, atomic objs sorted here).
+func (fs *FactSet) Encode() []byte {
+	ff := factFile{Version: FactsVersion, Funcs: fs.Funcs}
+	for k := range fs.AtomicObjs {
+		ff.AtomicObjs = append(ff.AtomicObjs, k)
+	}
+	sort.Strings(ff.AtomicObjs)
+	data, err := json.Marshal(ff)
+	if err != nil { // a map[string]*struct cannot fail to marshal
+		panic(err)
+	}
+	return data
+}
+
+// DecodeFacts parses a fact file. A file written by a different engine
+// revision (or not a fact file at all) returns an error; callers treat
+// that as "no facts" rather than failing the run.
+func DecodeFacts(data []byte) (*FactSet, error) {
+	var ff factFile
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("analysis: not a fact file: %v", err)
+	}
+	if ff.Version != FactsVersion {
+		return nil, fmt.Errorf("analysis: fact version %q, want %q (stale)", ff.Version, FactsVersion)
+	}
+	fs := NewFactSet()
+	for k, v := range ff.Funcs {
+		fs.Funcs[k] = v
+	}
+	for _, k := range ff.AtomicObjs {
+		fs.AtomicObjs[k] = true
+	}
+	return fs, nil
+}
+
+// FuncKey renders the stable cross-package identity of a function:
+// "pkgpath.Name" for package functions, "(pkgpath.Type).Method" for
+// methods (value and pointer receivers share a key).
+func FuncKey(f *types.Func) string {
+	sig, _ := f.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := Deref(sig.Recv().Type())
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+			return "(" + named.Obj().Pkg().Path() + "." + named.Obj().Name() + ")." + f.Name()
+		}
+		return "(?)." + f.Name() // interface or anonymous receiver: not exportable
+	}
+	if f.Pkg() == nil {
+		return f.Name()
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}
+
+// ObjKey renders the stable identity of a struct field or
+// package-level variable for the atomic-access fact set:
+// "pkgpath.Type.field" for fields (keyed through the selector's
+// receiver type), "pkgpath.name" for package vars. Local variables
+// have no stable identity and return "".
+func ObjKey(info *types.Info, expr ast.Expr) string {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		sel := info.Selections[e]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			// Package-qualified var (pkg.V) resolves through Uses.
+			if obj, ok := info.Uses[e.Sel].(*types.Var); ok && obj.Pkg() != nil && isPkgLevel(obj) {
+				return obj.Pkg().Path() + "." + obj.Name()
+			}
+			return ""
+		}
+		named, ok := Deref(sel.Recv()).(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return ""
+		}
+		return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + e.Sel.Name
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok && obj.Pkg() != nil && isPkgLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// ComputeFacts summarizes every function declared in pkg, resolving
+// intra-package calls to a fixpoint and cross-package calls through
+// the imported facts. Test files contribute no facts: nothing imports
+// them.
+func ComputeFacts(pkg *Package, imported *FactSet) *FactSet {
+	own := NewFactSet()
+	type declInfo struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []declInfo
+	for _, f := range pkg.Files {
+		if file := pkg.Fset.File(f.Pos()); file != nil && strings.HasSuffix(file.Name(), "_test.go") {
+			continue
+		}
+		collectAtomicObjs(pkg, f, own)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls = append(decls, declInfo{fn, fd})
+			}
+		}
+	}
+	// Fixpoint: intra-package transitivity (A stores, B calls A, C
+	// calls B) converges in at most chain-depth rounds; ten bounds
+	// pathological cycles.
+	for iter := 0; iter < 10; iter++ {
+		merged := MergeFacts(imported, own)
+		changed := false
+		for _, di := range decls {
+			nf := summarize(pkg, di.decl, merged)
+			key := FuncKey(di.fn)
+			if !own.Funcs[key].equal(nf) {
+				changed = true
+			}
+			own.Funcs[key] = nf
+		}
+		if !changed {
+			break
+		}
+	}
+	return own
+}
+
+// collectAtomicObjs records fields/globals whose address is taken by a
+// sync/atomic call in f.
+func collectAtomicObjs(pkg *Package, f *ast.File, fs *FactSet) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !IsAtomicPkgCall(pkg.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				continue
+			}
+			if key := ObjKey(pkg.Info, ue.X); key != "" {
+				fs.AtomicObjs[key] = true
+			}
+		}
+		return true
+	})
+}
+
+// IsAtomicPkgCall reports whether call invokes a sync/atomic
+// package-level function (AddInt32, LoadUint64, StorePointer, ...).
+// Methods on the typed atomics (atomic.Int64 etc.) are not included:
+// those fields cannot be accessed plainly in the first place.
+func IsAtomicPkgCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// summarize computes one function's FuncFact given the current merged
+// fact view.
+func summarize(pkg *Package, decl *ast.FuncDecl, facts *FactSet) *FuncFact {
+	info := pkg.Info
+	// Param index per object. Receivers are tracked as aliases (so
+	// s.f = p still scans p) but never indexed.
+	paramIdx := make(map[types.Object]int)
+	idx := 0
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			if len(field.Names) == 0 {
+				idx++ // unnamed param still occupies an index
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					paramIdx[obj] = idx
+				}
+				idx++
+			}
+		}
+	}
+	// Alias groups: a local assigned (or sliced) from a param joins
+	// the param's group. Two passes handle declaration order.
+	alias := make(map[types.Object]int, len(paramIdx))
+	for o, i := range paramIdx {
+		alias[o] = i
+	}
+	for pass := 0; pass < 2; pass++ {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				src := aliasSource(info, alias, as.Rhs[i])
+				if src < 0 {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					if obj := info.Defs[id]; obj != nil {
+						alias[obj] = src
+					} else if obj := info.Uses[id]; obj != nil && !isPkgLevelVar(obj) {
+						alias[obj] = src
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	fact := &FuncFact{}
+	retained := make(map[int]bool)
+	puts := make(map[int]bool)
+	ends := make(map[int]bool)
+
+	aliasIdx := func(e ast.Expr) int { return aliasOf(info, alias, e) }
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if !retainingLHS(info, lhs) {
+					continue
+				}
+				// Any aliased param appearing bare on the RHS side of a
+				// retaining store is retained. append(dst, p...) copies
+				// contents and is excluded by aliasesIn.
+				for _, rhs := range n.Rhs {
+					for _, i := range aliasesIn(info, alias, rhs) {
+						retained[i] = true
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			// A param placed in a composite literal can outlive the
+			// call through whatever the literal flows into.
+			for _, elt := range n.Elts {
+				e := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if i := aliasIdx(e); i >= 0 {
+					retained[i] = true
+				}
+			}
+		case *ast.GoStmt:
+			// A goroutine capturing the param keeps it alive past the
+			// call's return.
+			for _, i := range aliasesIn(info, alias, n.Call) {
+				retained[i] = true
+			}
+		case *ast.ReturnStmt:
+			// Returning a param hands the alias back to the caller —
+			// not retention in the stored sense; bufown treats escape
+			// via return at the Get site instead.
+		case *ast.SendStmt:
+			fact.Blocks = true
+			if i := aliasIdx(n.Value); i >= 0 {
+				retained[i] = true // the receiver end may hold it forever
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				fact.Blocks = true
+			}
+		case *ast.SelectStmt:
+			fact.Blocks = true
+		case *ast.CallExpr:
+			summarizeCall(pkg, n, facts, alias, retained, puts, ends, fact)
+		}
+		return true
+	})
+	// Deferred calls of a func(error) param count as ending it.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		for _, i := range endCallTargets(info, alias, ds.Call) {
+			ends[i] = true
+		}
+		return true
+	})
+
+	if len(InfiniteLoops(pkg.Info, decl.Body)) > 0 {
+		fact.LoopsForever = true
+	}
+	fact.Retains = sortedKeys(retained)
+	fact.Puts = sortedKeys(puts)
+	for i := range ends {
+		if isErrFuncParam(decl, info, i) {
+			fact.EndsSpan = append(fact.EndsSpan, i)
+		}
+	}
+	sort.Ints(fact.EndsSpan)
+	return fact
+}
+
+// summarizeCall folds one call expression into the summary: callee
+// facts (retention/puts/ends transitivity), sync.Pool Put, known
+// blockers.
+func summarizeCall(pkg *Package, call *ast.CallExpr, facts *FactSet,
+	alias map[types.Object]int, retained, puts, ends map[int]bool, fact *FuncFact) {
+	info := pkg.Info
+	fn := CalleeFunc(info, call)
+
+	// p(...) where p is a func(error) param: the span-closer shape.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			if i, ok := alias[obj]; ok && i >= 0 {
+				ends[i] = true
+			}
+		}
+	}
+
+	if fn == nil {
+		return
+	}
+	if isPoolPut(fn) {
+		for _, arg := range call.Args {
+			if i := aliasOf(info, alias, arg); i >= 0 {
+				puts[i] = true
+			}
+		}
+		return
+	}
+	if isKnownBlocker(fn) {
+		fact.Blocks = true
+	}
+	callee := facts.Func(fn)
+	if callee == nil {
+		return
+	}
+	if callee.Blocks {
+		fact.Blocks = true
+	}
+	for argI, arg := range call.Args {
+		i := aliasOf(info, alias, arg)
+		if i < 0 {
+			continue
+		}
+		if callee.RetainsParam(argI) {
+			retained[i] = true
+		}
+		if callee.PutsParam(argI) {
+			puts[i] = true
+		}
+		if callee.EndsSpanParam(argI) {
+			ends[i] = true
+		}
+	}
+}
+
+// endCallTargets resolves which param indices a call ends: a direct
+// deferred p(...) or a deferred callee with EndsSpan facts would be
+// handled by summarizeCall's inspection, but defer bodies need the
+// direct-ident case repeated here.
+func endCallTargets(info *types.Info, alias map[types.Object]int, call *ast.CallExpr) []int {
+	var out []int
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			if i, ok := alias[obj]; ok && i >= 0 {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// isErrFuncParam reports whether declared param i has type func(error)
+// — the span-closer signature.
+func isErrFuncParam(decl *ast.FuncDecl, info *types.Info, i int) bool {
+	idx := 0
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if i >= idx && i < idx+n {
+			t, ok := info.Types[field.Type]
+			if !ok {
+				return false
+			}
+			return IsSpanCloserType(t.Type)
+		}
+		idx += n
+	}
+	return false
+}
+
+// IsSpanCloserType reports whether t is func(error) — the type of the
+// closer StartSpan/ContinueSpan return.
+func IsSpanCloserType(t types.Type) bool {
+	sig, ok := types.Unalias(t).(*types.Signature)
+	if !ok || sig.Results().Len() != 0 || sig.Params().Len() != 1 {
+		return false
+	}
+	pt := types.Unalias(sig.Params().At(0).Type())
+	named, ok := pt.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// aliasOf resolves e to a param alias group, or -1.
+func aliasOf(info *types.Info, alias map[types.Object]int, e ast.Expr) int {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return -1
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return -1
+	}
+	if i, ok := alias[obj]; ok {
+		return i
+	}
+	return -1
+}
+
+// aliasSource reports which alias group an RHS expression propagates
+// (ident or slice of an alias), or -1.
+func aliasSource(info *types.Info, alias map[types.Object]int, e ast.Expr) int {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return aliasOf(info, alias, e)
+	case *ast.SliceExpr:
+		return aliasSource(info, alias, e.X)
+	case *ast.TypeAssertExpr:
+		return aliasSource(info, alias, e.X)
+	}
+	return -1
+}
+
+// aliasesIn collects the distinct alias groups referenced bare inside
+// e. A final `x...` argument of append is excluded: spreading copies
+// the contents, it does not retain the slice header.
+func aliasesIn(info *types.Info, alias map[types.Object]int, e ast.Expr) []int {
+	var skip ast.Expr
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && call.Ellipsis != token.NoPos && len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				skip = call.Args[len(call.Args)-1]
+			}
+		}
+	}
+	seen := make(map[int]bool)
+	var out []int
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == skip {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			// closures are scanned too: capturing counts as reference
+			return true
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if i, ok := alias[obj]; ok && i >= 0 && !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+		return true
+	})
+	sort.Ints(out)
+	return out
+}
+
+// retainingLHS reports whether storing into lhs makes the value
+// outlive the function: a field, a map/slice element, or a
+// package-level variable.
+func retainingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok {
+			return isPkgLevelVar(obj)
+		}
+	}
+	return false
+}
+
+func isPkgLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isPoolPut reports whether fn is (*sync.Pool).Put.
+func isPoolPut(fn *types.Func) bool {
+	if fn.Name() != "Put" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && IsNamed(sig.Recv().Type(), "sync", "Pool")
+}
+
+// IsPoolGet reports whether call invokes (*sync.Pool).Get.
+func IsPoolGet(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Get" {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Recv() != nil && IsNamed(sig.Recv().Type(), "sync", "Pool")
+}
+
+// IsPoolPutCall reports whether call invokes (*sync.Pool).Put.
+func IsPoolPutCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := CalleeFunc(info, call)
+	return fn != nil && isPoolPut(fn)
+}
+
+// isKnownBlocker covers the stdlib operations locksafe already treats
+// as blocking.
+func isKnownBlocker(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return fn.Name() == "Sleep"
+	case "sync":
+		return fn.Name() == "Wait" || fn.Name() == "Lock" || fn.Name() == "RLock"
+	}
+	return false
+}
+
+func sortedKeys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// doneishName matches channel names that signal goroutine shutdown.
+var doneishName = regexp.MustCompile(`(?i)(done|stop|quit|exit|clos|shutdown|term|cancel|die|kill)`)
+
+// InfiniteLoops returns the condition-less for loops under root (not
+// descending into nested function literals) that have no visible exit:
+// no return, no break out of the loop, no receive/select on a
+// context.Done() or shutdown-named channel, no panic/os.Exit/
+// log.Fatal, and no runtime.Goexit.
+func InfiniteLoops(info *types.Info, root ast.Node) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // separate goroutine bodies are analyzed at their go stmt
+			case *ast.ForStmt:
+				if m.Cond == nil && !loopExits(info, m) {
+					out = append(out, m)
+				}
+			}
+			return true
+		})
+	}
+	walk(root)
+	return out
+}
+
+// loopExits reports whether a condition-less loop has a visible
+// termination path.
+func loopExits(info *types.Info, loop *ast.ForStmt) bool {
+	exits := false
+	// depth counts enclosing break-absorbing statements inside the
+	// loop: an unlabeled break at depth 0 exits our loop; inside a
+	// nested for/select/switch it does not.
+	var scan func(n ast.Node, depth int)
+	scan = func(n ast.Node, depth int) {
+		if exits || n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ReturnStmt:
+			exits = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK && (n.Label != nil || depth == 0) {
+				// A labeled break is assumed to target an enclosing
+				// loop (ours or outer — either way control leaves us).
+				exits = true
+			}
+			if n.Tok == token.GOTO {
+				exits = true // assume the jump leaves the loop
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && doneishChan(info, n.X) {
+				exits = true
+			}
+			scan(n.X, depth)
+		case *ast.CallExpr:
+			if neverReturns(info, n) {
+				exits = true
+			}
+			for _, a := range n.Args {
+				scan(a, depth)
+			}
+			scan(n.Fun, depth)
+		case *ast.ForStmt:
+			scanChildren(n, depth+1, scan)
+		case *ast.RangeStmt:
+			scanChildren(n, depth+1, scan)
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if comm := cc.Comm; comm != nil {
+					// a case receiving from a done-ish channel is an
+					// exit only if its body leaves the loop — but a
+					// ctx.Done() case virtually always returns/breaks;
+					// require the explicit exit in the body instead.
+					scan(comm, depth+1)
+				}
+				for _, s := range cc.Body {
+					scan(s, depth+1)
+				}
+			}
+		case *ast.SwitchStmt:
+			scanChildren(n, depth+1, scan)
+		case *ast.TypeSwitchStmt:
+			scanChildren(n, depth+1, scan)
+		default:
+			scanChildren(n, depth, scan)
+		}
+	}
+	for _, s := range loop.Body.List {
+		scan(s, 0)
+		if exits {
+			return true
+		}
+	}
+	return exits
+}
+
+// scanChildren applies scan to every direct child of n at the given
+// depth.
+func scanChildren(n ast.Node, depth int, scan func(ast.Node, int)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		scan(m, depth)
+		return false
+	})
+}
+
+// doneishChan reports whether e looks like a shutdown signal: a
+// context.Context Done() call or a channel whose name says stop.
+func doneishChan(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := CalleeFunc(info, e)
+		return fn != nil && fn.Name() == "Done"
+	case *ast.Ident:
+		return doneishName.MatchString(e.Name)
+	case *ast.SelectorExpr:
+		return doneishName.MatchString(e.Sel.Name)
+	}
+	return false
+}
+
+// neverReturns reports whether the call is panic/os.Exit/log.Fatal* /
+// runtime.Goexit — calls that terminate the goroutine or process.
+func neverReturns(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && info.Uses[id] == nil {
+		return true
+	}
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "log":
+		return strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")
+	case "runtime":
+		return fn.Name() == "Goexit"
+	}
+	return false
+}

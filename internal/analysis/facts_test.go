@@ -1,0 +1,131 @@
+package analysis_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"directload/internal/analysis"
+)
+
+// loadFixture loads a testdata package plus its fixture-local deps.
+func loadFixture(t *testing.T, path string) (*analysis.Loader, *analysis.Package) {
+	t.Helper()
+	loader := analysis.NewLoader("testdata")
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatalf("loading %s: %v", path, err)
+	}
+	return loader, pkg
+}
+
+func factsFor(t *testing.T, loader *analysis.Loader, pkg *analysis.Package) *analysis.FactSet {
+	t.Helper()
+	return analysis.ComputeFacts(pkg, loader.ImportedFacts(pkg))
+}
+
+func TestComputeFactsSummaries(t *testing.T) {
+	loader, pkg := loadFixture(t, "facthelp")
+	fs := factsFor(t, loader, pkg)
+
+	want := map[string]analysis.FuncFact{
+		"(facthelp.Sink).Keep":         {Retains: []int{0}},
+		"(facthelp.Sink).KeepMap":      {Retains: []int{1}},
+		"(facthelp.Sink).CopyOut":      {},
+		"(facthelp.Sink).KeepIndirect": {Retains: []int{0}},
+		"facthelp.Finish":              {EndsSpan: []int{0}},
+		"facthelp.FinishDeferred":      {EndsSpan: []int{0}},
+		"facthelp.Drop":                {},
+		"facthelp.Recycle":             {Puts: []int{1}},
+		"facthelp.Spin":                {LoopsForever: true},
+		"facthelp.Serve":               {Blocks: true},
+		"facthelp.WaitOn":              {Blocks: true},
+	}
+	for key, w := range want {
+		got := fs.Funcs[key]
+		if got == nil {
+			t.Errorf("%s: no fact computed", key)
+			continue
+		}
+		if !reflect.DeepEqual(got.Retains, w.Retains) || !reflect.DeepEqual(got.Puts, w.Puts) ||
+			!reflect.DeepEqual(got.EndsSpan, w.EndsSpan) || got.LoopsForever != w.LoopsForever {
+			t.Errorf("%s: got %+v, want %+v", key, *got, w)
+		}
+		if got.Blocks != w.Blocks {
+			t.Errorf("%s: Blocks=%v, want %v", key, got.Blocks, w.Blocks)
+		}
+	}
+}
+
+// TestCrossPackageFactImport is the facts channel end to end in loader
+// form: factuser's Forward retains its buffer only because the
+// imported summary of facthelp's Keep says so.
+func TestCrossPackageFactImport(t *testing.T) {
+	loader, pkg := loadFixture(t, "factuser")
+	fs := factsFor(t, loader, pkg)
+
+	fwd := fs.Funcs["factuser.Forward"]
+	if fwd == nil || !fwd.RetainsParam(1) {
+		t.Fatalf("factuser.Forward: want Retains=[1] via imported facthelp facts, got %+v", fwd)
+	}
+	insp := fs.Funcs["factuser.Inspect"]
+	if insp == nil {
+		t.Fatal("factuser.Inspect: no fact computed")
+	}
+	if len(insp.Retains) != 0 {
+		t.Fatalf("factuser.Inspect: spurious retention %v", insp.Retains)
+	}
+}
+
+// TestFactRoundTrip: Encode then DecodeFacts reproduces the set — the
+// vetx persistence path.
+func TestFactRoundTrip(t *testing.T) {
+	loader, pkg := loadFixture(t, "facthelp")
+	fs := factsFor(t, loader, pkg)
+
+	data := fs.Encode()
+	back, err := analysis.DecodeFacts(data)
+	if err != nil {
+		t.Fatalf("decoding just-encoded facts: %v", err)
+	}
+	if len(back.Funcs) != len(fs.Funcs) {
+		t.Fatalf("round trip lost functions: %d -> %d", len(fs.Funcs), len(back.Funcs))
+	}
+	for k, v := range fs.Funcs {
+		got := back.Funcs[k]
+		if got == nil {
+			t.Errorf("%s lost in round trip", k)
+			continue
+		}
+		if !reflect.DeepEqual(v, got) {
+			t.Errorf("%s: %+v -> %+v", k, *v, *got)
+		}
+	}
+	if !reflect.DeepEqual(fs.AtomicObjs, back.AtomicObjs) {
+		t.Errorf("atomic objs: %v -> %v", fs.AtomicObjs, back.AtomicObjs)
+	}
+	// Deterministic bytes: a second encode is identical (the go
+	// command caches vetx output by content).
+	if !bytes.Equal(data, fs.Encode()) {
+		t.Error("Encode is not deterministic")
+	}
+}
+
+// TestStaleFactsRejected: a fact file from another engine revision (or
+// garbage) decodes as an error, so dependents treat it as no facts
+// rather than wrong facts.
+func TestStaleFactsRejected(t *testing.T) {
+	loader, pkg := loadFixture(t, "facthelp")
+	fs := factsFor(t, loader, pkg)
+
+	stale := bytes.Replace(fs.Encode(), []byte(analysis.FactsVersion), []byte("directload-vet-facts/0"), 1)
+	if _, err := analysis.DecodeFacts(stale); err == nil {
+		t.Fatal("stale-version fact file decoded without error")
+	} else if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale decode error does not say stale: %v", err)
+	}
+	if _, err := analysis.DecodeFacts([]byte("directload-vet: no facts\n")); err == nil {
+		t.Fatal("pre-facts placeholder decoded without error")
+	}
+}

@@ -1,0 +1,83 @@
+// Package goroexit requires every `go` statement to have a visible
+// termination path. A goroutine whose loop has no exit — no return,
+// no break, no receive from a done-ish channel — outlives the
+// component that spawned it; enough of those and a "graceful"
+// shutdown is neither, and every test that starts the component leaks
+// a runtime stack.
+//
+// The check is interprocedural via the facts engine: `go s.loop()`
+// where loop's summary says LoopsForever is the same bug as an inline
+// `go func() { for { ... } }()`.
+//
+// Goroutines that are genuinely process-lifetime carry a
+// `//lint:ignore goroexit <reason>` directive.
+package goroexit
+
+import (
+	"go/ast"
+
+	"directload/internal/analysis"
+)
+
+// Analyzer is the goroexit check.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroexit",
+	Doc:  "every go statement needs a visible termination path (done channel, context, or bounded work)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGo(pass, g)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGo(pass *analysis.Pass, g *ast.GoStmt) {
+	info := pass.TypesInfo
+
+	// go func() { ... }(): analyze the body directly.
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		for _, loop := range analysis.InfiniteLoops(info, lit.Body) {
+			pass.Reportf(loop.Pos(), "goroutine loops with no termination path: add a done/stop channel case or bound the loop")
+		}
+		// The body may also just call a forever-looping function.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit && n != ast.Node(lit) {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			reportForeverCallee(pass, call)
+			return true
+		})
+		return
+	}
+
+	// go name(...) / go obj.method(...): consult the callee's summary.
+	reportForeverCallee(pass, g.Call)
+}
+
+// reportForeverCallee flags a call whose callee's fact says it loops
+// forever.
+func reportForeverCallee(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if ff := pass.Facts.Func(fn); ff != nil && ff.LoopsForever {
+		pass.Reportf(call.Pos(), "goroutine runs %s, which loops with no termination path: add a done/stop channel case or bound the loop", fn.Name())
+	}
+}

@@ -1,0 +1,18 @@
+package goroexit_test
+
+import (
+	"testing"
+
+	"directload/internal/analysis/analysistest"
+	"directload/internal/analysis/goroexit"
+)
+
+func TestGoroExit(t *testing.T) {
+	analysistest.Run(t, "testdata", goroexit.Analyzer, "workers")
+}
+
+// TestGoroExitInterprocedural needs looper's imported facts: BadSpawn
+// fires only because Forever's summary says LoopsForever.
+func TestGoroExitInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata", goroexit.Analyzer, "looperuser")
+}

@@ -1,0 +1,27 @@
+// Package looper is the imported side of goroexit's interprocedural
+// case: Forever's LoopsForever summary travels to looperuser as a
+// fact.
+package looper
+
+import "context"
+
+func tick() {}
+
+// Forever loops with no exit: LoopsForever.
+func Forever() {
+	for {
+		tick()
+	}
+}
+
+// Until watches its context: terminates.
+func Until(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+			tick()
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package looperuser spawns looper's functions across the package
+// boundary; only imported facts distinguish the two.
+package looperuser
+
+import (
+	"context"
+
+	"looper"
+)
+
+// BadSpawn launches the imported forever-loop.
+func BadSpawn() {
+	go looper.Forever() // want `goroutine runs Forever, which loops with no termination path`
+}
+
+// GoodSpawn launches the context-bounded loop.
+func GoodSpawn(ctx context.Context) {
+	go looper.Until(ctx)
+}
+
+// WrappedSpawn hits the same fact through an inline body.
+func WrappedSpawn() {
+	go func() {
+		looper.Forever() // want `goroutine runs Forever, which loops with no termination path`
+	}()
+}

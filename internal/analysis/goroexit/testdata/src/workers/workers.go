@@ -1,0 +1,82 @@
+// Package workers exercises goroexit within one package: inline
+// goroutine bodies and `go method()` spawns of summarized loops.
+package workers
+
+type W struct {
+	stop chan struct{}
+	work chan int
+}
+
+func step() {}
+
+// Start's loop watches the stop channel: terminates.
+func (w *W) Start() {
+	go func() {
+		for {
+			select {
+			case <-w.stop:
+				return
+			case j := <-w.work:
+				_ = j
+			}
+		}
+	}()
+}
+
+// Drain ranges over a closable channel: terminates when it closes.
+func (w *W) Drain() {
+	go func() {
+		for j := range w.work {
+			_ = j
+		}
+	}()
+}
+
+// Spin's loop has no exit at all.
+func (w *W) Spin() {
+	go func() {
+		for { // want `goroutine loops with no termination path`
+			step()
+		}
+	}()
+}
+
+// loopForever is summarized LoopsForever; spawning it is Spin with a
+// function call in between.
+func (w *W) loopForever() {
+	for {
+		step()
+	}
+}
+
+// SpawnLoop launches the summarized forever-loop.
+func (w *W) SpawnLoop() {
+	go w.loopForever() // want `goroutine runs loopForever, which loops with no termination path`
+}
+
+// pump watches stop: its summary carries no LoopsForever.
+func (w *W) pump() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-w.work:
+		}
+	}
+}
+
+// SpawnPump is the quiet counterpart of SpawnLoop.
+func (w *W) SpawnPump() {
+	go w.pump()
+}
+
+// Background is process-lifetime by design; the directive (with its
+// mandatory reason) silences the finding.
+func Background() {
+	go func() {
+		//lint:ignore goroexit process-lifetime flusher, exits with the process
+		for {
+			step()
+		}
+	}()
+}

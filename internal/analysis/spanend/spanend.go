@@ -1,0 +1,277 @@
+// Package spanend checks that every span the tracer starts is ended
+// on every path. StartSpan/ContinueSpan (and their Note variants)
+// return a closer — `func(err error)` — that records the span when
+// called; a path that leaves the function without calling it loses the
+// span from the timeline, which is exactly the error path an operator
+// most wants to see.
+//
+// The closer is considered handled when it is:
+//
+//   - deferred (`defer end(err)` or a deferred closure referencing
+//     it) — covers every later path;
+//   - called on every path that leaves the function after the start
+//     (checked lexically: an `end(err)` in an ancestor block before
+//     the return);
+//   - passed to a helper whose imported fact says it calls its
+//     func(error) param (EndsSpan — interprocedural via the facts
+//     engine);
+//   - stored, returned, or captured by a closure — ownership visibly
+//     moves and the analyzer stops second-guessing.
+//
+// Discarding the closer with `_` is always flagged.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"directload/internal/analysis"
+)
+
+// Analyzer is the spanend check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc:  "every StartSpan/ContinueSpan closer must be called on all paths (usually deferred)",
+	Run:  run,
+}
+
+// spanStarters are the tracer methods returning (ctx, closer).
+var spanStarters = map[string]bool{
+	"StartSpan": true, "ContinueSpan": true,
+	"StartSpanNote": true, "ContinueSpanNote": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass, f) {
+			continue
+		}
+		bodies := analysis.FuncBodies(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isSpanStart(pass.TypesInfo, call) {
+				return true
+			}
+			checkCloser(pass, bodies, as, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSpanStart reports whether call is a metrics tracer span start: a
+// method named like StartSpan on a metrics-package receiver, returning
+// a func(error) second result.
+func isSpanStart(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || !spanStarters[fn.Name()] || fn.Pkg() == nil {
+		return false
+	}
+	if !analysis.PkgPathMatches(fn.Pkg().Path(), "metrics") {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Results().Len() == 2 && analysis.IsSpanCloserType(sig.Results().At(1).Type())
+}
+
+// checkCloser verifies the second assignee of one span start.
+func checkCloser(pass *analysis.Pass, bodies []*ast.BlockStmt, as *ast.AssignStmt, call *ast.CallExpr) {
+	closerIdent, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if closerIdent.Name == "_" {
+		pass.Reportf(call.Pos(), "span closer discarded: the span never records; assign and defer it")
+		return
+	}
+	info := pass.TypesInfo
+	obj := info.Defs[closerIdent]
+	if obj == nil {
+		obj = info.Uses[closerIdent]
+	}
+	if obj == nil {
+		return
+	}
+	// The function body this start executes in.
+	var scope *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= call.Pos() && call.End() <= b.End() {
+			if scope == nil || b.Pos() > scope.Pos() {
+				scope = b
+			}
+		}
+	}
+	if scope == nil {
+		return
+	}
+	blocks := analysis.CollectBlocks(scope)
+
+	var (
+		coveredAll bool       // defer / ownership moved / closure capture
+		endEvents  []ast.Node // direct or fact-based end calls, position-checked per return
+	)
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if coveredAll {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if callsObj(info, n.Call, obj) || referencesObj(info, n.Call, obj) {
+				coveredAll = true
+			}
+		case *ast.FuncLit:
+			// a non-deferred closure referencing the closer: whoever
+			// runs the closure owns the span now
+			if n.Body != nil && referencesObj(info, n.Body, obj) {
+				coveredAll = true
+			}
+			return false
+		case *ast.AssignStmt:
+			// stored into a field/map/global: ownership moved
+			for i, rhs := range n.Rhs {
+				if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && info.Uses[id] == obj && i < len(n.Lhs) {
+					if retainingLHS(info, n.Lhs[i]) {
+						coveredAll = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && info.Uses[id] == obj {
+					coveredAll = true
+				}
+			}
+		case *ast.CallExpr:
+			if callsObj(info, n, obj) {
+				endEvents = append(endEvents, n)
+				return true
+			}
+			// passed to a helper that ends it (facts)
+			if fn := analysis.CalleeFunc(info, n); fn != nil {
+				for i, arg := range n.Args {
+					id, ok := ast.Unparen(arg).(*ast.Ident)
+					if !ok || info.Uses[id] != obj {
+						continue
+					}
+					if ff := pass.Facts.Func(fn); ff.EndsSpanParam(i) {
+						endEvents = append(endEvents, n)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if coveredAll {
+		return
+	}
+	if len(endEvents) == 0 {
+		pass.Reportf(call.Pos(), "span closer %s is never called: the span never records; defer it", closerIdent.Name)
+		return
+	}
+	// Every exit after the start must be preceded by an end on its
+	// path: each return directly in this scope, plus the implicit
+	// return at the end of a body that can fall off its closing brace.
+	// An end event directly in the start's own block also discharges
+	// every exit after that block closes — the block cannot finish
+	// normally without passing it (a continue/goto between start and
+	// end can cheat this, which is as far as lexical checking sees).
+	startBlock := analysis.InnermostBlock(blocks, call.Pos())
+	for _, ret := range scopeReturns(bodies, scope, call.End()) {
+		covered := false
+		for _, e := range endEvents {
+			if analysis.CoversLexically(blocks, e, ret) {
+				covered = true
+				break
+			}
+			if startBlock != nil && analysis.InnermostBlock(blocks, e.Pos()) == startBlock &&
+				e.Pos() > call.End() && ret > startBlock.End() {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.Reportf(ret, "path leaves function without calling span closer %s (started at line %d); defer it or call it before returning",
+				closerIdent.Name, pass.Fset.Position(call.Pos()).Line)
+		}
+	}
+}
+
+// scopeReturns lists the exit points of scope after afterPos: return
+// statements executing directly in scope, and the closing brace when
+// the body can fall off its end.
+func scopeReturns(bodies []*ast.BlockStmt, scope *ast.BlockStmt, afterPos token.Pos) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(scope, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if ret.Pos() > afterPos && analysis.SameFuncScope(bodies, scope, ret.Pos()) {
+			out = append(out, ret.Pos())
+		}
+		return true
+	})
+	if fallsOffEnd(scope) {
+		out = append(out, scope.Rbrace)
+	}
+	return out
+}
+
+// fallsOffEnd reports whether control can reach the body's closing
+// brace: the last statement is not a return or a terminating
+// for/panic.
+func fallsOffEnd(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return true
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return false
+	case *ast.ForStmt:
+		return last.Cond != nil // `for { ... }` never falls through
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// callsObj reports whether call invokes obj directly: obj(...).
+func callsObj(info *types.Info, call *ast.CallExpr, obj types.Object) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+// referencesObj reports whether any identifier under n resolves to obj.
+func referencesObj(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// retainingLHS mirrors the facts engine's notion: a store that makes
+// the value outlive the function.
+func retainingLHS(info *types.Info, lhs ast.Expr) bool {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Parent() == obj.Pkg().Scope()
+		}
+	}
+	return false
+}

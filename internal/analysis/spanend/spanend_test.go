@@ -1,0 +1,18 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"directload/internal/analysis/analysistest"
+	"directload/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer, "spans")
+}
+
+// TestSpanEndInterprocedural needs spanhelp's imported facts: Handoff
+// is quiet only because Finish's summary says it calls its closer.
+func TestSpanEndInterprocedural(t *testing.T) {
+	analysistest.Run(t, "testdata", spanend.Analyzer, "spanuser")
+}

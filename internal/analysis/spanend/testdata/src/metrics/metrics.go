@@ -1,0 +1,29 @@
+// Package metrics is a fixture stub of directload's tracer surface:
+// just enough shape for spanend to recognize span starts. The real
+// package lives at directload/internal/metrics; PkgPathMatches lets
+// the analyzer treat this bare path the same way.
+package metrics
+
+import "context"
+
+// Tracer mirrors the span-start surface of the real tracer.
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(ctx context.Context, op string) (context.Context, func(error)) {
+	return ctx, func(error) {}
+}
+
+func (t *Tracer) ContinueSpan(ctx context.Context, op string) (context.Context, func(error)) {
+	return ctx, func(error) {}
+}
+
+func (t *Tracer) StartSpanNote(ctx context.Context, op, note string) (context.Context, func(error)) {
+	return ctx, func(error) {}
+}
+
+// Registry also starts spans in the real package.
+type Registry struct{}
+
+func (r *Registry) StartSpan(ctx context.Context, op string) (context.Context, func(error)) {
+	return ctx, func(error) {}
+}

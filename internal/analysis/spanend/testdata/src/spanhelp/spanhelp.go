@@ -1,0 +1,15 @@
+// Package spanhelp provides helpers the spans fixture hands its
+// closers to. The facts engine summarizes Finish as EndsSpan=[0];
+// Ignore gets no fact. The difference is what makes the
+// interprocedural fixture cases fire (or not).
+package spanhelp
+
+// Finish records the span: EndsSpan=[0].
+func Finish(end func(error), err error) {
+	end(err)
+}
+
+// Ignore drops the closer without calling it: no fact.
+func Ignore(end func(error)) {
+	_ = end
+}

@@ -1,0 +1,143 @@
+// Package spans exercises spanend: every way a closer can be handled
+// or lost.
+package spans
+
+import (
+	"context"
+	"errors"
+
+	"metrics"
+)
+
+var errBoom = errors.New("boom")
+
+type server struct {
+	tr      *metrics.Tracer
+	pending func(error)
+}
+
+func work() error { return nil }
+
+// Deferred is the idiomatic shape: defer covers every path.
+func Deferred(t *metrics.Tracer, ctx context.Context) error {
+	_, end := t.StartSpan(ctx, "deferred")
+	err := work()
+	defer end(err)
+	return err
+}
+
+// DeferredClosure defers a closure that calls end: also covered.
+func DeferredClosure(t *metrics.Tracer, ctx context.Context) (err error) {
+	_, end := t.StartSpan(ctx, "deferred-closure")
+	defer func() { end(err) }()
+	return work()
+}
+
+// Linear ends the span on the single fall-through path.
+func Linear(t *metrics.Tracer, ctx context.Context) {
+	_, end := t.StartSpan(ctx, "linear")
+	_ = work()
+	end(nil)
+}
+
+// Discarded throws the closer away: the span never records.
+func Discarded(t *metrics.Tracer, ctx context.Context) {
+	_, _ = t.StartSpan(ctx, "discarded") // want `span closer discarded`
+	_ = work()
+}
+
+// Forgotten assigns the closer and never calls it.
+func Forgotten(t *metrics.Tracer, ctx context.Context) {
+	_, end := t.StartSpan(ctx, "forgotten") // want `span closer end is never called`
+	_ = end
+	_ = work()
+}
+
+// Branchy ends the span on the failure path only; the success return
+// leaks it.
+func Branchy(t *metrics.Tracer, ctx context.Context, fail bool) error {
+	_, end := t.StartSpan(ctx, "branchy")
+	if fail {
+		end(errBoom)
+		return errBoom
+	}
+	return nil // want `path leaves function without calling span closer end`
+}
+
+// FallsOff ends the span in one branch but can fall off the closing
+// brace without it.
+func FallsOff(t *metrics.Tracer, ctx context.Context, fail bool) {
+	_, end := t.StartSpan(ctx, "fallsoff")
+	if fail {
+		end(errBoom)
+	}
+} // want `path leaves function without calling span closer end`
+
+// Stored parks the closer in a field: ownership visibly moved, the
+// analyzer trusts whoever drains pending.
+func (s *server) Stored(ctx context.Context) {
+	_, end := s.tr.StartSpan(ctx, "stored")
+	s.pending = end
+}
+
+// Returned hands the closer to the caller.
+func Returned(t *metrics.Tracer, ctx context.Context) (context.Context, func(error)) {
+	sctx, end := t.StartSpan(ctx, "returned")
+	return sctx, end
+}
+
+// Captured lets a goroutine own the span's end.
+func Captured(t *metrics.Tracer, ctx context.Context, done chan error) {
+	_, end := t.StartSpan(ctx, "captured")
+	go func() {
+		end(<-done)
+	}()
+}
+
+// Registry spans are checked the same way as Tracer spans.
+func FromRegistry(r *metrics.Registry, ctx context.Context) {
+	_, end := r.StartSpan(ctx, "registry") // want `span closer end is never called`
+	_ = end
+}
+
+// ScopedSpan starts and ends the span inside one branch; the
+// untraced return afterwards is not on the span's path.
+func ScopedSpan(t *metrics.Tracer, ctx context.Context, traced bool) error {
+	if traced {
+		var end func(error)
+		ctx, end = t.StartSpan(ctx, "scoped")
+		err := workCtx(ctx)
+		end(err)
+		return err
+	}
+	return work()
+}
+
+func workCtx(ctx context.Context) error { return nil }
+
+// LoopSpan opens and closes a span per iteration; the function exit
+// happens with no span live.
+func LoopSpan(t *metrics.Tracer, ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		_, end := t.StartSpan(ctx, "iter")
+		end(work())
+	}
+}
+
+// EarlyOut returns between the start and the end: that path leaks
+// even though the block's own exit is covered.
+func EarlyOut(t *metrics.Tracer, ctx context.Context, skip bool) error {
+	_, end := t.StartSpan(ctx, "early")
+	if skip {
+		return nil // want `path leaves function without calling span closer end`
+	}
+	err := work()
+	end(err)
+	return err
+}
+
+// NoteVariant covers the *Note span starters.
+func NoteVariant(t *metrics.Tracer, ctx context.Context) {
+	_, end := t.StartSpanNote(ctx, "note", "detail")
+	defer end(nil)
+}

@@ -1,0 +1,38 @@
+// Package spanuser hands its closers to spanhelp across a package
+// boundary: these cases only resolve correctly through imported facts.
+package spanuser
+
+import (
+	"context"
+
+	"metrics"
+	"spanhelp"
+)
+
+func work() error { return nil }
+
+// Handoff ends the span through spanhelp.Finish — quiet only because
+// Finish's imported fact says EndsSpan=[0].
+func Handoff(t *metrics.Tracer, ctx context.Context) error {
+	_, end := t.StartSpan(ctx, "handoff")
+	err := work()
+	spanhelp.Finish(end, err)
+	return err
+}
+
+// BadHandoff passes the closer to a helper that drops it; no fact, so
+// the span is lost.
+func BadHandoff(t *metrics.Tracer, ctx context.Context) {
+	_, end := t.StartSpan(ctx, "bad-handoff") // want `span closer end is never called`
+	spanhelp.Ignore(end)
+}
+
+// PartialHandoff finishes through the helper on one path only.
+func PartialHandoff(t *metrics.Tracer, ctx context.Context, fail bool) error {
+	_, end := t.StartSpan(ctx, "partial")
+	if fail {
+		spanhelp.Finish(end, nil)
+		return nil
+	}
+	return work() // want `path leaves function without calling span closer end`
+}

@@ -1,0 +1,80 @@
+// Package facthelp exercises every fact the engine exports; the
+// engine test (facts_test.go) checks the computed summaries, and
+// factuser checks they survive the import path.
+package facthelp
+
+import (
+	"context"
+	"sync"
+)
+
+// Sink retains its buffer in a struct field.
+type Sink struct {
+	last []byte
+	all  map[string][]byte
+}
+
+// Keep stores p: Retains=[0].
+func (s *Sink) Keep(p []byte) {
+	s.last = p
+}
+
+// KeepMap stores p in a map: Retains=[0].
+func (s *Sink) KeepMap(k string, p []byte) {
+	s.all[k] = p
+}
+
+// CopyOut appends p's contents: spreading copies bytes, so no fact.
+func (s *Sink) CopyOut(p []byte) {
+	s.last = append(s.last[:0], p...)
+}
+
+// KeepIndirect retains p by passing it to Keep: Retains=[0]
+// transitively.
+func (s *Sink) KeepIndirect(p []byte) {
+	s.Keep(p)
+}
+
+// Finish calls its span closer: EndsSpan=[0].
+func Finish(end func(error), err error) {
+	end(err)
+}
+
+// FinishDeferred defers its span closer: EndsSpan=[0].
+func FinishDeferred(end func(error)) {
+	defer end(nil)
+}
+
+// Drop never calls end: no EndsSpan fact.
+func Drop(end func(error)) {
+	_ = end
+}
+
+// Recycle returns p to the pool: Puts=[1].
+func Recycle(pool *sync.Pool, p []byte) {
+	pool.Put(p)
+}
+
+// Spin loops with no exit: LoopsForever.
+func Spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// Serve loops but watches ctx: terminates.
+func Serve(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-work:
+		}
+	}
+}
+
+// WaitOn blocks on a channel receive: Blocks.
+func WaitOn(ch chan int) int {
+	return <-ch
+}

@@ -1,0 +1,17 @@
+// Package factuser calls facthelp across a package boundary; the
+// engine test checks that factuser's own summaries pick up facthelp's
+// facts (retention through an imported callee).
+package factuser
+
+import "facthelp"
+
+// Forward retains p only because facthelp.(*Sink).Keep does:
+// Retains=[1] requires the imported fact.
+func Forward(s *facthelp.Sink, p []byte) {
+	s.Keep(p)
+}
+
+// Inspect reads the buffer without storing it: no facts.
+func Inspect(s *facthelp.Sink, p []byte) int {
+	return len(p)
+}

@@ -462,7 +462,7 @@ func (f *Fleet) PublishVersion(ctx context.Context, version uint64, entries []En
 	short := 0
 	var firstKey []byte
 	for i := range entries {
-		if int(acks[i]) < f.cfg.WriteQuorum {
+		if int(atomic.LoadInt32(&acks[i])) < f.cfg.WriteQuorum {
 			if short == 0 {
 				firstKey = entries[i].Key
 			}

@@ -14,6 +14,7 @@ import (
 	"directload/internal/blockfs"
 	"directload/internal/core"
 	"directload/internal/metrics"
+	"directload/internal/metrics/testutil"
 	"directload/internal/mint"
 	"directload/internal/server"
 	"directload/internal/ssd"
@@ -235,6 +236,7 @@ func TestQuorumPublishAndGet(t *testing.T) {
 // that recovery + a probe round drains the handoff so the node
 // converges on the version it missed.
 func TestQuorumSurvivesNodeDownAndHandoffDrains(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	n1, n2, n3 := startNode(t, nil), startNode(t, nil), startNode(t, nil)
 	f := testFleet(t, Config{Replicas: 3, WriteQuorum: 2, WriteRetries: 1}, n1, n2, n3)
 	ctx := context.Background()
@@ -526,6 +528,7 @@ func TestDropVersionHinted(t *testing.T) {
 // read serves the GET, the recovered node converges via handoff, and
 // ONE trace ID covers router → replica → engine spans.
 func TestFleetE2EOneTrace(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	reg := metrics.NewRegistry()
 	n1 := startNode(t, reg)
 	n2 := startNode(t, reg)

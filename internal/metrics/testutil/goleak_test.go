@@ -1,0 +1,92 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records failures instead of failing, so the checker can be
+// tested on goroutines that really do leak.
+type fakeTB struct {
+	cleanups []func()
+	errors   []string
+	logs     []string
+}
+
+func (f *fakeTB) Helper()                           {}
+func (f *fakeTB) Cleanup(fn func())                 { f.cleanups = append(f.cleanups, fn) }
+func (f *fakeTB) Errorf(format string, args ...any) { f.errors = append(f.errors, format) }
+func (f *fakeTB) Logf(format string, args ...any)   { f.logs = append(f.logs, format) }
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCheckGoroutinesClean(t *testing.T) {
+	fake := &fakeTB{}
+	CheckGoroutines(fake, Deadline(200*time.Millisecond))
+
+	// A goroutine that finishes before test end is not a leak.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+
+	fake.runCleanups()
+	if len(fake.errors) != 0 {
+		t.Fatalf("clean test flagged as leaking: %v", fake.errors)
+	}
+}
+
+func TestCheckGoroutinesWaitsForStragglers(t *testing.T) {
+	fake := &fakeTB{}
+	CheckGoroutines(fake, Deadline(2*time.Second))
+
+	// Still running when cleanup starts, exits shortly after: the
+	// retry loop must absorb it.
+	release := make(chan struct{})
+	go func() { <-release }()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+
+	fake.runCleanups()
+	if len(fake.errors) != 0 {
+		t.Fatalf("straggler within deadline flagged as leak: %v", fake.errors)
+	}
+}
+
+func TestCheckGoroutinesCatchesLeak(t *testing.T) {
+	fake := &fakeTB{}
+	CheckGoroutines(fake, Deadline(100*time.Millisecond))
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }() // outlives the "test"
+
+	fake.runCleanups()
+	if len(fake.errors) == 0 {
+		t.Fatal("leaked goroutine not reported")
+	}
+	if !strings.Contains(fake.errors[0], "leaked") {
+		t.Fatalf("unexpected error format: %q", fake.errors[0])
+	}
+}
+
+func TestCheckGoroutinesAllowlist(t *testing.T) {
+	fake := &fakeTB{}
+	CheckGoroutines(fake, Deadline(100*time.Millisecond), Allow("testutil.lifetimeWorker"))
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go lifetimeWorker(stop)
+
+	fake.runCleanups()
+	if len(fake.errors) != 0 {
+		t.Fatalf("allowlisted goroutine flagged: %v", fake.errors)
+	}
+}
+
+func lifetimeWorker(stop chan struct{}) { <-stop }

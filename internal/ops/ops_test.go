@@ -14,6 +14,7 @@ import (
 
 	"directload/internal/fleet"
 	"directload/internal/metrics"
+	"directload/internal/metrics/testutil"
 )
 
 // testMux builds a mux over a populated registry and slow log.
@@ -189,6 +190,7 @@ func TestPprofGated(t *testing.T) {
 }
 
 func TestServerServeShutdown(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	reg := metrics.NewRegistry()
 	s, err := Listen("127.0.0.1:0", Config{Registry: reg})
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"directload/internal/blockfs"
 	"directload/internal/core"
 	"directload/internal/metrics"
+	"directload/internal/metrics/testutil"
 	"directload/internal/server"
 	"directload/internal/ssd"
 )
@@ -108,6 +109,7 @@ func mustDo(t *testing.T, cl *Client, args ...string) Reply {
 }
 
 func TestBasicCommands(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	_, cl := startRESP(t, newBackend(t, nil))
 
 	if r := mustDo(t, cl, "PING"); r.Str != "PONG" {
@@ -534,6 +536,7 @@ func TestInfoAndInline(t *testing.T) {
 }
 
 func TestProtocolErrorTearsDown(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	srv, _ := startRESP(t, newBackend(t, nil))
 	nc, err := net.Dial("tcp", srv.Addr().String())
 	if err != nil {

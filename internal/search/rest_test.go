@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"directload/internal/metrics/testutil"
 )
 
 func newRESTServer(t *testing.T) *httptest.Server {
@@ -38,6 +40,7 @@ func do(t *testing.T, method, url, contentType string, body []byte) (*http.Respo
 }
 
 func TestRESTLifecycle(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	srv := newRESTServer(t)
 
 	resp, body := do(t, "GET", srv.URL+"/index", "", nil)

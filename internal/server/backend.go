@@ -360,26 +360,31 @@ func (b *Backend) applyBatch(ctx context.Context, ops []BatchOp) []BatchResult {
 	_, traced := metrics.SpanFromContext(ctx)
 	results := make([]BatchResult, len(ops))
 	for i, op := range ops {
-		var err error
-		var endSub func(error)
 		if traced && int(op.Op) < len(opNames) {
-			_, endSub = b.reg.ContinueSpan(ctx, "server.batch."+opNames[op.Op])
-		}
-		switch op.Op {
-		case OpPut, OpPutDedup:
-			_, err = b.db.Put(op.Key, op.Version, op.Value, op.Op == OpPutDedup)
-		case OpDel:
-			_, err = b.db.Del(op.Key, op.Version)
-		case OpDropVersion:
-			_, _, err = b.db.DropVersion(op.Version)
-		default:
-			err = errNotBatchable
-		}
-		if endSub != nil {
+			_, endSub := b.reg.ContinueSpan(ctx, "server.batch."+opNames[op.Op])
+			err := b.execBatchOp(op)
 			endSub(err)
+			results[i] = BatchResult{Err: err}
+			continue
 		}
-		results[i] = BatchResult{Err: err}
+		results[i] = BatchResult{Err: b.execBatchOp(op)}
 	}
 	b.met.batchOps.Add(int64(len(ops)))
 	return results
+}
+
+// execBatchOp runs one batched sub-op against the store.
+func (b *Backend) execBatchOp(op BatchOp) error {
+	var err error
+	switch op.Op {
+	case OpPut, OpPutDedup:
+		_, err = b.db.Put(op.Key, op.Version, op.Value, op.Op == OpPutDedup)
+	case OpDel:
+		_, err = b.db.Del(op.Key, op.Version)
+	case OpDropVersion:
+		_, _, err = b.db.DropVersion(op.Version)
+	default:
+		err = errNotBatchable
+	}
+	return err
 }
